@@ -1,0 +1,78 @@
+// Figure 6 — absolute and relative speedups up to 64 processors for
+// Init_K in {high values, 3}.
+//
+// Published shape: absolute speedups grow near-linearly to 64 processors
+// (best for Init_K = 3, the largest workload); the relative speedup
+// T(p) / T(2p) stays around 1.8 across the range.
+
+#include <cstdio>
+
+#include "bench/bench_fig_common.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace gsb;
+  const util::Cli cli(argc, argv);
+  const auto config = bench::BenchConfig::from_cli(cli, /*default_scale=*/0.3);
+  const auto workload = bench::myogenic_workload(config);
+  bench::print_workload(workload);
+
+  auto init_ks = bench::high_init_ks(workload);
+  init_ks.push_back(3);  // the paper's largest workload
+  std::printf("collecting instrumented sequential runs...\n");
+  std::vector<bench::TracedRun> runs;
+  for (std::size_t init_k : init_ks) {
+    runs.push_back(bench::collect_trace(workload, init_k));
+  }
+
+  const std::vector<std::size_t> procs{1, 2, 4, 8, 16, 32, 64};
+
+  std::vector<std::string> headers{"processors"};
+  for (const auto& run : runs) {
+    headers.push_back(util::format("Init_K=%zu", run.init_k));
+  }
+
+  std::printf("\n=== Figure 6a: absolute speedup (T1/Tp), ideal = p ===\n");
+  util::TableWriter abs_table(headers);
+  std::vector<std::vector<altix::SpeedupPoint>> sweeps;
+  for (const auto& run : runs) {
+    const altix::AltixSimulator sim(bench::calibrated_model_for(run.stats));
+    sweeps.push_back(sim.sweep(run.stats, procs));
+  }
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    std::vector<std::string> row{util::format("%zu", procs[i])};
+    for (const auto& sweep : sweeps) {
+      row.push_back(util::format("%.2f", sweep[i].absolute_speedup));
+    }
+    abs_table.add_row(std::move(row));
+  }
+  abs_table.print();
+
+  std::printf("\n=== Figure 6b: relative speedup (Tp/T2p), ideal = 2 ===\n");
+  util::TableWriter rel_table(headers);
+  for (std::size_t i = 1; i < procs.size(); ++i) {
+    std::vector<std::string> row{util::format("%zu", procs[i])};
+    for (const auto& sweep : sweeps) {
+      row.push_back(util::format("%.2f", sweep[i].relative_speedup));
+    }
+    rel_table.add_row(std::move(row));
+  }
+  rel_table.print();
+  if (!config.csv_prefix.empty()) {
+    abs_table.write_csv(config.csv_prefix + "fig6_absolute.csv");
+    rel_table.write_csv(config.csv_prefix + "fig6_relative.csv");
+  }
+
+  // Paper shape check: relative speedup stays in a band around ~1.8.
+  double rel_sum = 0.0;
+  std::size_t rel_count = 0;
+  for (const auto& sweep : sweeps) {
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+      rel_sum += sweep[i].relative_speedup;
+      ++rel_count;
+    }
+  }
+  std::printf("\nmean relative speedup: %.2f (paper: 'remains around 1.8')\n",
+              rel_sum / static_cast<double>(rel_count));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 7 — absolute speedup at 256 processors vs. sequential run time.
+//
+// Published shape: the speedup at 256 processors grows with the sequential
+// run time — 22x at 98 s (Init_K=20) rising to 51x at 1,948 s (Init_K=3).
+// Every problem size has its own optimal processor count; the fixed
+// overheads (synchronization, centralized scheduling) amortize only over
+// long enough level work.
+
+#include <cstdio>
+
+#include "bench/bench_fig_common.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace gsb;
+  const util::Cli cli(argc, argv);
+  const auto config = bench::BenchConfig::from_cli(cli, /*default_scale=*/0.3);
+  const auto workload = bench::myogenic_workload(config);
+  bench::print_workload(workload);
+
+  // Largest Init_K first, mirroring the paper's x-axis (98 s ... 1948 s).
+  auto init_ks = bench::high_init_ks(workload);
+  std::reverse(init_ks.begin(), init_ks.end());
+  init_ks.push_back(3);
+
+  std::printf("collecting instrumented sequential runs...\n");
+  std::vector<bench::TracedRun> runs;
+  for (std::size_t init_k : init_ks) {
+    runs.push_back(bench::collect_trace(workload, init_k));
+  }
+
+  std::printf("\n=== Figure 7: speedup at 256 processors vs sequential "
+              "time ===\n");
+  util::TableWriter table({"Init_K (paper)", "sequential (s)",
+                           "speedup @128p", "speedup @256p"});
+  double prev_speedup = 0.0;
+  bool monotone = true;
+  for (const auto& run : runs) {
+    const double t1 = bench::simulate_run(run, 1).seconds;
+    const double t128 = bench::simulate_run(run, 128).seconds;
+    const double t256 = bench::simulate_run(run, 256).seconds;
+    const double s256 = t1 / t256;
+    table.add_row({util::format("%zu (%zu)", run.init_k, run.paper_init_k),
+                   util::format("%.3f", t1), util::format("%.1f", t1 / t128),
+                   util::format("%.1f", s256)});
+    if (s256 < prev_speedup) monotone = false;
+    prev_speedup = s256;
+  }
+  table.print();
+  if (!config.csv_prefix.empty()) {
+    table.write_csv(config.csv_prefix + "fig7.csv");
+  }
+
+  std::printf("\npaper reference: 22x @ 98 s (Init_K=20) -> 51x @ 1948 s "
+              "(Init_K=3); speedup must grow with sequential time: %s\n",
+              monotone ? "reproduced" : "NOT reproduced");
+  return monotone ? 0 : 1;
+}

@@ -1,0 +1,191 @@
+// Micro-benchmarks (google-benchmark): the primitive operations whose cost
+// model the paper's design arguments rest on.
+//
+//   * bitwise AND + any-bit maximality test vs. universe width;
+//   * fused intersects() vs. materialize-then-scan (the paper's
+//     "BitOneExists(BitAND(...))" done right);
+//   * bitmap adjacency probe vs. sorted-list intersection;
+//   * WAH compressed AND vs. uncompressed AND on sparse neighborhoods;
+//   * the three maximal-clique enumerators on a module workload;
+//   * k-core preprocessing cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bitset/dynamic_bitset.h"
+#include "bitset/wah_bitset.h"
+#include "core/bron_kerbosch.h"
+#include "core/clique_enumerator.h"
+#include "core/kclique.h"
+#include "graph/generators.h"
+#include "graph/transforms.h"
+#include "util/rng.h"
+
+namespace {
+
+using gsb::bits::DynamicBitset;
+using gsb::bits::WahBitset;
+
+DynamicBitset random_bits(std::size_t n, double density, std::uint64_t seed) {
+  gsb::util::Rng rng(seed);
+  DynamicBitset bits(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(density)) bits.set(i);
+  }
+  return bits;
+}
+
+void BM_BitsetAnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_bits(n, 0.01, 1);
+  const auto b = random_bits(n, 0.01, 2);
+  DynamicBitset out(n);
+  for (auto _ : state) {
+    out.assign_and(a, b);
+    benchmark::DoNotOptimize(out.words().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size_bytes()) * 2);
+}
+BENCHMARK(BM_BitsetAnd)->Arg(1024)->Arg(12422)->Arg(65536);
+
+void BM_MaximalityTestFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_bits(n, 0.005, 3);
+  const auto b = random_bits(n, 0.005, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DynamicBitset::intersects(a, b));
+  }
+}
+BENCHMARK(BM_MaximalityTestFused)->Arg(1024)->Arg(12422)->Arg(65536);
+
+void BM_MaximalityTestMaterialized(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_bits(n, 0.005, 3);
+  const auto b = random_bits(n, 0.005, 4);
+  DynamicBitset scratch(n);
+  for (auto _ : state) {
+    scratch.assign_and(a, b);
+    benchmark::DoNotOptimize(scratch.any());
+  }
+}
+BENCHMARK(BM_MaximalityTestMaterialized)->Arg(1024)->Arg(12422)->Arg(65536);
+
+void BM_AdjacencyProbeBitmap(benchmark::State& state) {
+  gsb::util::Rng rng(7);
+  const auto g = gsb::graph::gnp(2895, 0.002, rng);
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<gsb::graph::VertexId>(index % g.order());
+    const auto v =
+        static_cast<gsb::graph::VertexId>((index * 31 + 17) % g.order());
+    benchmark::DoNotOptimize(g.has_edge(u, v));
+    ++index;
+  }
+}
+BENCHMARK(BM_AdjacencyProbeBitmap);
+
+void BM_AdjacencyProbeSortedList(benchmark::State& state) {
+  gsb::util::Rng rng(7);
+  const auto g = gsb::graph::gnp(2895, 0.002, rng);
+  std::vector<std::vector<gsb::graph::VertexId>> lists(g.order());
+  for (gsb::graph::VertexId v = 0; v < g.order(); ++v) {
+    lists[v] = g.neighbor_list(v);
+  }
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<gsb::graph::VertexId>(index % g.order());
+    const auto v =
+        static_cast<gsb::graph::VertexId>((index * 31 + 17) % g.order());
+    benchmark::DoNotOptimize(
+        std::binary_search(lists[u].begin(), lists[u].end(), v));
+    ++index;
+  }
+}
+BENCHMARK(BM_AdjacencyProbeSortedList);
+
+void BM_WahAndCompressed(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 10000.0;
+  const auto a = WahBitset::compress(random_bits(12422, density, 5));
+  const auto b = WahBitset::compress(random_bits(12422, density, 6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WahBitset::intersects(a, b));
+  }
+  state.counters["compression"] = a.compression_ratio();
+}
+BENCHMARK(BM_WahAndCompressed)->Arg(8)->Arg(30)->Arg(300);
+
+void BM_WahAndUncompressed(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 10000.0;
+  const auto a = random_bits(12422, density, 5);
+  const auto b = random_bits(12422, density, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DynamicBitset::intersects(a, b));
+  }
+}
+BENCHMARK(BM_WahAndUncompressed)->Arg(8)->Arg(30)->Arg(300);
+
+gsb::graph::Graph module_workload() {
+  gsb::util::Rng rng(11);
+  gsb::graph::ModuleGraphConfig config;
+  config.n = 400;
+  config.num_modules = 28;
+  config.max_module_size = 12;
+  config.overlap = 0.3;
+  config.background_edges = 300;
+  return gsb::graph::planted_modules(config, rng).graph;
+}
+
+void BM_EnumeratorBaseBK(benchmark::State& state) {
+  const auto g = module_workload();
+  for (auto _ : state) {
+    gsb::core::CliqueCounter counter;
+    gsb::core::base_bk(g, counter.callback());
+    benchmark::DoNotOptimize(counter.total());
+  }
+}
+BENCHMARK(BM_EnumeratorBaseBK)->Unit(benchmark::kMillisecond);
+
+void BM_EnumeratorImprovedBK(benchmark::State& state) {
+  const auto g = module_workload();
+  for (auto _ : state) {
+    gsb::core::CliqueCounter counter;
+    gsb::core::improved_bk(g, counter.callback());
+    benchmark::DoNotOptimize(counter.total());
+  }
+}
+BENCHMARK(BM_EnumeratorImprovedBK)->Unit(benchmark::kMillisecond);
+
+void BM_EnumeratorCliqueEnumerator(benchmark::State& state) {
+  const auto g = module_workload();
+  for (auto _ : state) {
+    gsb::core::CliqueCounter counter;
+    gsb::core::CliqueEnumeratorOptions options;
+    options.range = gsb::core::SizeRange{2, 0};
+    gsb::core::enumerate_maximal_cliques(g, counter.callback(), options);
+    benchmark::DoNotOptimize(counter.total());
+  }
+}
+BENCHMARK(BM_EnumeratorCliqueEnumerator)->Unit(benchmark::kMillisecond);
+
+void BM_KCorePreprocess(benchmark::State& state) {
+  const auto g = module_workload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gsb::graph::kcore_subgraph(g, 5).graph.order());
+  }
+}
+BENCHMARK(BM_KCorePreprocess)->Unit(benchmark::kMillisecond);
+
+void BM_SeedLevelByK(benchmark::State& state) {
+  const auto g = module_workload();
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    gsb::core::CliqueCollector sink;
+    auto level = gsb::core::build_seed_level(g, k, sink.callback());
+    benchmark::DoNotOptimize(level.size());
+  }
+}
+BENCHMARK(BM_SeedLevelByK)->Arg(3)->Arg(5)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+#include "analysis/clique_stats.h"
+
+#include <algorithm>
+
+namespace gsb::analysis {
+
+CliqueSpectrum clique_spectrum(const std::vector<core::Clique>& cliques) {
+  CliqueSpectrum spectrum;
+  spectrum.total = cliques.size();
+  std::uint64_t size_sum = 0;
+  for (const auto& clique : cliques) {
+    ++spectrum.size_histogram[clique.size()];
+    size_sum += clique.size();
+  }
+  if (!cliques.empty()) {
+    spectrum.min_size = spectrum.size_histogram.begin()->first;
+    spectrum.max_size = spectrum.size_histogram.rbegin()->first;
+    spectrum.mean_size =
+        static_cast<double>(size_sum) / static_cast<double>(cliques.size());
+  }
+  return spectrum;
+}
+
+std::vector<std::uint32_t> vertex_participation(
+    std::size_t order, const std::vector<core::Clique>& cliques) {
+  std::vector<std::uint32_t> counts(order, 0);
+  for (const auto& clique : cliques) {
+    for (graph::VertexId v : clique) {
+      if (v < order) ++counts[v];
+    }
+  }
+  return counts;
+}
+
+double clique_overlap(const core::Clique& a, const core::Clique& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t common = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  const std::size_t unions = a.size() + b.size() - common;
+  return unions == 0 ? 0.0
+                     : static_cast<double>(common) /
+                           static_cast<double>(unions);
+}
+
+double mean_pairwise_overlap(const std::vector<core::Clique>& cliques) {
+  if (cliques.size() < 2) return 0.0;
+  double total = 0.0;
+  std::uint64_t pairs = 0;
+  for (std::size_t i = 0; i < cliques.size(); ++i) {
+    for (std::size_t j = i + 1; j < cliques.size(); ++j) {
+      total += clique_overlap(cliques[i], cliques[j]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace gsb::analysis

@@ -1,0 +1,42 @@
+#ifndef GSB_ANALYSIS_CLIQUE_STATS_H
+#define GSB_ANALYSIS_CLIQUE_STATS_H
+
+/// \file clique_stats.h
+/// Descriptive statistics over enumerated maximal cliques: size spectra,
+/// vertex participation, and pairwise overlap.  These are the summaries the
+/// paper's biology sections rely on ("extract correlated sets of traits",
+/// "reduce the dimensionality of the data matrix").
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/clique.h"
+#include "graph/graph.h"
+
+namespace gsb::analysis {
+
+/// Size histogram and aggregates of a clique collection.
+struct CliqueSpectrum {
+  std::map<std::size_t, std::uint64_t> size_histogram;
+  std::size_t max_size = 0;
+  std::size_t min_size = 0;
+  double mean_size = 0.0;
+  std::uint64_t total = 0;
+};
+CliqueSpectrum clique_spectrum(const std::vector<core::Clique>& cliques);
+
+/// participation[v] = number of cliques containing v.
+std::vector<std::uint32_t> vertex_participation(
+    std::size_t order, const std::vector<core::Clique>& cliques);
+
+/// Jaccard overlap |A ∩ B| / |A ∪ B| of two sorted cliques.
+double clique_overlap(const core::Clique& a, const core::Clique& b);
+
+/// Average pairwise Jaccard overlap of a collection (0 when < 2 cliques).
+/// Quadratic; intended for reporting on filtered clique sets.
+double mean_pairwise_overlap(const std::vector<core::Clique>& cliques);
+
+}  // namespace gsb::analysis
+
+#endif  // GSB_ANALYSIS_CLIQUE_STATS_H

@@ -1,0 +1,38 @@
+#include "analysis/hubs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/clique_stats.h"
+
+namespace gsb::analysis {
+
+std::vector<HubReport> top_hubs(const graph::Graph& g,
+                                const std::vector<core::Clique>& cliques,
+                                std::size_t count) {
+  const auto participation = vertex_participation(g.order(), cliques);
+  std::vector<HubReport> reports(g.order());
+  for (graph::VertexId v = 0; v < g.order(); ++v) {
+    reports[v] = HubReport{v, g.degree(v), participation[v]};
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const HubReport& a, const HubReport& b) {
+              if (a.degree != b.degree) return a.degree > b.degree;
+              if (a.clique_participation != b.clique_participation) {
+                return a.clique_participation > b.clique_participation;
+              }
+              return a.vertex < b.vertex;
+            });
+  reports.resize(std::min(count, reports.size()));
+  return reports;
+}
+
+HubReport most_connected_vertex(const graph::Graph& g,
+                                const std::vector<core::Clique>& cliques) {
+  if (g.order() == 0) {
+    throw std::invalid_argument("most_connected_vertex: empty graph");
+  }
+  return top_hubs(g, cliques, 1).front();
+}
+
+}  // namespace gsb::analysis

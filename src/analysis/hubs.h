@@ -1,0 +1,37 @@
+#ifndef GSB_ANALYSIS_HUBS_H
+#define GSB_ANALYSIS_HUBS_H
+
+/// \file hubs.h
+/// Hub-gene detection.  The paper's conclusions report that clique analysis
+/// of the mouse-brain network surfaced Lin7c as "the most highly connected
+/// vertex"; this module ranks vertices by degree and by clique
+/// participation so the co-expression example can reproduce that analysis
+/// on synthetic data.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clique.h"
+#include "graph/graph.h"
+
+namespace gsb::analysis {
+
+/// One ranked vertex.
+struct HubReport {
+  graph::VertexId vertex = 0;
+  std::size_t degree = 0;
+  std::uint32_t clique_participation = 0;  ///< cliques containing the vertex
+};
+
+/// Top \p count vertices ranked by degree, ties by clique participation.
+std::vector<HubReport> top_hubs(const graph::Graph& g,
+                                const std::vector<core::Clique>& cliques,
+                                std::size_t count);
+
+/// The single most connected vertex (order() must be > 0).
+HubReport most_connected_vertex(const graph::Graph& g,
+                                const std::vector<core::Clique>& cliques);
+
+}  // namespace gsb::analysis
+
+#endif  // GSB_ANALYSIS_HUBS_H

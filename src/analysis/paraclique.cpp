@@ -1,0 +1,74 @@
+#include "analysis/paraclique.h"
+
+#include <algorithm>
+
+#include "bitset/dynamic_bitset.h"
+#include "core/maximum_clique.h"
+#include "graph/transforms.h"
+
+namespace gsb::analysis {
+
+using bits::DynamicBitset;
+using core::Clique;
+using graph::VertexId;
+
+Paraclique grow_paraclique(const graph::Graph& g, const Clique& seed_clique,
+                           const ParacliqueOptions& options) {
+  Paraclique result;
+  result.seed_size = seed_clique.size();
+  DynamicBitset members(g.order());
+  for (VertexId v : seed_clique) members.set(v);
+  std::size_t member_count = seed_clique.size();
+
+  std::size_t rounds = 0;
+  bool grew = true;
+  while (grew && (options.max_rounds == 0 || rounds < options.max_rounds)) {
+    grew = false;
+    ++rounds;
+    for (VertexId v = 0; v < g.order(); ++v) {
+      if (members.test(v)) continue;
+      const std::size_t links =
+          DynamicBitset::count_and(members, g.neighbors(v));
+      if (links + options.glom >= member_count && links > 0) {
+        members.set(v);
+        ++member_count;
+        grew = true;
+      }
+    }
+  }
+
+  members.for_each([&](std::size_t v) {
+    result.members.push_back(static_cast<VertexId>(v));
+  });
+  const auto sub = graph::induced_subgraph(g, result.members);
+  result.density = sub.graph.density();
+  return result;
+}
+
+Paraclique extract_paraclique(const graph::Graph& g,
+                              const ParacliqueOptions& options) {
+  const auto seed = core::maximum_clique(g);
+  return grow_paraclique(g, seed.clique, options);
+}
+
+std::vector<Paraclique> extract_all_paracliques(
+    const graph::Graph& g, std::size_t min_size,
+    const ParacliqueOptions& options) {
+  std::vector<Paraclique> out;
+  graph::Graph residue = g;
+  while (true) {
+    const auto seed = core::maximum_clique(residue);
+    if (seed.clique.size() < std::max<std::size_t>(min_size, 1)) break;
+    Paraclique para = grow_paraclique(residue, seed.clique, options);
+    // Remove the paraclique's edges from the residue graph.
+    for (std::size_t i = 0; i < para.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < para.members.size(); ++j) {
+        residue.remove_edge(para.members[i], para.members[j]);
+      }
+    }
+    out.push_back(std::move(para));
+  }
+  return out;
+}
+
+}  // namespace gsb::analysis

@@ -1,0 +1,179 @@
+#include "bio/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/stats.h"
+
+namespace gsb::bio {
+namespace {
+
+/// Standardizes profiles to mean 0 / unit norm so correlation reduces to a
+/// dot product.  Returns false for constant profiles.
+bool standardize(std::span<const double> in, std::vector<double>& out) {
+  const std::size_t n = in.size();
+  out.resize(n);
+  const double mean =
+      std::accumulate(in.begin(), in.end(), 0.0) / static_cast<double>(n);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = in[i] - mean;
+    ss += out[i] * out[i];
+  }
+  if (ss == 0.0) return false;
+  const double inv = 1.0 / std::sqrt(ss);
+  for (double& v : out) v *= inv;
+  return true;
+}
+
+/// Row-standardized matrix (genes x samples) for dot-product correlation;
+/// `valid[g]` false marks constant rows.
+struct Standardized {
+  std::vector<double> values;  // row-major
+  std::vector<bool> valid;
+  std::size_t samples = 0;
+
+  [[nodiscard]] const double* row(std::size_t g) const noexcept {
+    return values.data() + g * samples;
+  }
+};
+
+Standardized standardize_all(const ExpressionMatrix& expression,
+                             CorrelationMethod method) {
+  Standardized out;
+  const std::size_t genes = expression.genes();
+  out.samples = expression.samples();
+  out.values.resize(genes * out.samples);
+  out.valid.assign(genes, false);
+  std::vector<double> buffer;
+  std::vector<double> ranks;
+  for (std::size_t g = 0; g < genes; ++g) {
+    std::span<const double> profile = expression.row(g);
+    if (method == CorrelationMethod::kSpearman) {
+      ranks = midranks(profile);
+      profile = ranks;
+    }
+    out.valid[g] = standardize(profile, buffer);
+    std::copy(buffer.begin(), buffer.end(),
+              out.values.begin() + static_cast<std::ptrdiff_t>(g * out.samples));
+  }
+  return out;
+}
+
+double dot(const double* a, const double* b, std::size_t n) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+}  // namespace
+
+std::vector<double> midranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && values[order[j]] == values[order[i]]) ++j;
+    // Average 1-based rank for the tie group [i, j).
+    const double rank = (static_cast<double>(i) + static_cast<double>(j - 1)) /
+                            2.0 +
+                        1.0;
+    for (std::size_t t = i; t < j; ++t) ranks[order[t]] = rank;
+    i = j;
+  }
+  return ranks;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> sx;
+  std::vector<double> sy;
+  if (x.size() != y.size() || x.empty()) return 0.0;
+  if (!standardize(x, sx) || !standardize(y, sy)) return 0.0;
+  return dot(sx.data(), sy.data(), sx.size());
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  const std::vector<double> rx = midranks(x);
+  const std::vector<double> ry = midranks(y);
+  return pearson(rx, ry);
+}
+
+CorrelationMatrix correlation_matrix(const ExpressionMatrix& expression,
+                                     CorrelationMethod method) {
+  const std::size_t genes = expression.genes();
+  CorrelationMatrix out(genes);
+  const Standardized std_rows = standardize_all(expression, method);
+  for (std::size_t i = 0; i < genes; ++i) {
+    out.set(i, i, 1.0f);
+    if (!std_rows.valid[i]) continue;
+    for (std::size_t j = i + 1; j < genes; ++j) {
+      if (!std_rows.valid[j]) continue;
+      out.set(i, j,
+              static_cast<float>(
+                  dot(std_rows.row(i), std_rows.row(j), std_rows.samples)));
+    }
+  }
+  return out;
+}
+
+CorrelationGraphResult build_correlation_graph(
+    const ExpressionMatrix& expression,
+    const CorrelationGraphOptions& options, util::Rng& rng) {
+  const std::size_t genes = expression.genes();
+  CorrelationGraphResult result{graph::Graph(genes), options.threshold};
+  if (genes < 2) return result;
+  const Standardized rows = standardize_all(expression, options.method);
+
+  double threshold = options.threshold;
+  if (options.target_edges > 0) {
+    // Estimate the |corr| quantile matching the edge budget from sampled
+    // pairs: P(edge) = target_edges / (n choose 2).
+    const double total_pairs =
+        static_cast<double>(genes) * static_cast<double>(genes - 1) / 2.0;
+    const double fraction =
+        std::min(1.0, static_cast<double>(options.target_edges) / total_pairs);
+    std::vector<double> sample;
+    const std::size_t draws =
+        std::min<std::size_t>(options.quantile_samples,
+                              static_cast<std::size_t>(total_pairs));
+    sample.reserve(draws);
+    for (std::size_t d = 0; d < draws; ++d) {
+      const auto i = static_cast<std::size_t>(rng.below(genes));
+      const auto j = static_cast<std::size_t>(rng.below(genes));
+      if (i == j) {
+        --d;  // retry this draw
+        continue;
+      }
+      if (!rows.valid[i] || !rows.valid[j]) {
+        sample.push_back(0.0);
+        continue;
+      }
+      sample.push_back(
+          std::fabs(dot(rows.row(i), rows.row(j), rows.samples)));
+    }
+    threshold = util::quantile(std::move(sample), 1.0 - fraction);
+  }
+  result.threshold_used = threshold;
+
+  for (std::size_t i = 0; i < genes; ++i) {
+    if (!rows.valid[i]) continue;
+    for (std::size_t j = i + 1; j < genes; ++j) {
+      if (!rows.valid[j]) continue;
+      const double corr = dot(rows.row(i), rows.row(j), rows.samples);
+      if (std::fabs(corr) >= threshold) {
+        result.graph.add_edge(static_cast<graph::VertexId>(i),
+                              static_cast<graph::VertexId>(j));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gsb::bio

@@ -1,0 +1,85 @@
+#ifndef GSB_BIO_CORRELATION_H
+#define GSB_BIO_CORRELATION_H
+
+/// \file correlation.h
+/// Pairwise gene correlation and thresholded graph construction — stages
+/// two and three of the paper's pipeline ("pairwise rank coefficient
+/// calculation, and filtering using threshold").
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/expression.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace gsb::bio {
+
+enum class CorrelationMethod {
+  kPearson,
+  kSpearman  ///< rank coefficient — the paper's choice
+};
+
+/// Pearson correlation of two equal-length profiles (0 if either is
+/// constant).
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (tie-averaged ranks, then Pearson).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Tie-averaged ranks of a profile (1-based averages, standard midranks).
+std::vector<double> midranks(std::span<const double> values);
+
+/// Dense symmetric correlation matrix (genes x genes, float to halve the
+/// footprint).  Quadratic in genes; prefer build_correlation_graph for
+/// thresholded use.
+class CorrelationMatrix {
+ public:
+  CorrelationMatrix() = default;
+  explicit CorrelationMatrix(std::size_t n) : n_(n), values_(n * n, 0.0f) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] float at(std::size_t i, std::size_t j) const noexcept {
+    return values_[i * n_ + j];
+  }
+  void set(std::size_t i, std::size_t j, float value) noexcept {
+    values_[i * n_ + j] = value;
+    values_[j * n_ + i] = value;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<float> values_;
+};
+
+/// Full correlation matrix under the chosen method.
+CorrelationMatrix correlation_matrix(const ExpressionMatrix& expression,
+                                     CorrelationMethod method);
+
+/// Options for thresholded graph construction.
+struct CorrelationGraphOptions {
+  CorrelationMethod method = CorrelationMethod::kSpearman;
+  /// Edge iff |corr| >= threshold (used when target_edges == 0).
+  double threshold = 0.85;
+  /// When nonzero, pick the threshold as the |corr| quantile that yields
+  /// approximately this many edges (estimated from sampled pairs).
+  std::size_t target_edges = 0;
+  /// Pairs sampled for the quantile estimate.
+  std::size_t quantile_samples = 200000;
+};
+
+/// Result of graph construction.
+struct CorrelationGraphResult {
+  graph::Graph graph;
+  double threshold_used = 0.0;
+};
+
+/// Builds the thresholded co-expression graph without materializing the
+/// full correlation matrix.
+CorrelationGraphResult build_correlation_graph(
+    const ExpressionMatrix& expression,
+    const CorrelationGraphOptions& options, util::Rng& rng);
+
+}  // namespace gsb::bio
+
+#endif  // GSB_BIO_CORRELATION_H

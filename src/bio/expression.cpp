@@ -1,0 +1,10 @@
+#include "bio/expression.h"
+
+namespace gsb::bio {
+
+std::string ExpressionMatrix::name_of(std::size_t gene) const {
+  if (gene < names_.size()) return names_[gene];
+  return "gene" + std::to_string(gene);
+}
+
+}  // namespace gsb::bio

@@ -1,0 +1,77 @@
+#include "bio/normalize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace gsb::bio {
+
+void zscore_rows(ExpressionMatrix& matrix) {
+  const std::size_t s = matrix.samples();
+  if (s < 2) return;
+  for (std::size_t g = 0; g < matrix.genes(); ++g) {
+    auto row = matrix.row(g);
+    const double mean =
+        std::accumulate(row.begin(), row.end(), 0.0) / static_cast<double>(s);
+    double ss = 0.0;
+    for (double v : row) ss += (v - mean) * (v - mean);
+    const double sd = std::sqrt(ss / static_cast<double>(s - 1));
+    if (sd == 0.0) {
+      std::fill(row.begin(), row.end(), 0.0);
+      continue;
+    }
+    for (double& v : row) v = (v - mean) / sd;
+  }
+}
+
+void quantile_normalize(ExpressionMatrix& matrix) {
+  const std::size_t genes = matrix.genes();
+  const std::size_t samples = matrix.samples();
+  if (genes == 0 || samples == 0) return;
+
+  // Rank the genes within each sample.
+  std::vector<std::vector<std::uint32_t>> order(samples,
+                                                std::vector<std::uint32_t>(genes));
+  for (std::size_t s = 0; s < samples; ++s) {
+    auto& idx = order[s];
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return matrix.at(a, s) < matrix.at(b, s);
+    });
+  }
+  // Reference distribution: mean across samples at each rank.
+  std::vector<double> reference(genes, 0.0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t r = 0; r < genes; ++r) {
+      reference[r] += matrix.at(order[s][r], s);
+    }
+  }
+  for (double& v : reference) v /= static_cast<double>(samples);
+  // Substitute each value by the reference value of its rank.
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t r = 0; r < genes; ++r) {
+      matrix.at(order[s][r], s) = reference[r];
+    }
+  }
+}
+
+void log2_transform(ExpressionMatrix& matrix) {
+  double min_value = 0.0;
+  bool first = true;
+  for (std::size_t g = 0; g < matrix.genes(); ++g) {
+    for (double v : matrix.row(g)) {
+      if (first || v < min_value) {
+        min_value = v;
+        first = false;
+      }
+    }
+  }
+  for (std::size_t g = 0; g < matrix.genes(); ++g) {
+    for (double& v : matrix.row(g)) {
+      v = std::log2(v - min_value + 1.0);
+    }
+  }
+}
+
+}  // namespace gsb::bio

@@ -1,0 +1,26 @@
+#ifndef GSB_BIO_NORMALIZE_H
+#define GSB_BIO_NORMALIZE_H
+
+/// \file normalize.h
+/// Expression normalization — the first stage of the paper's pipeline
+/// ("raw microarray data after normalization ...").
+
+#include "bio/expression.h"
+
+namespace gsb::bio {
+
+/// Standardizes each gene's profile to mean 0 / sample stddev 1 in place.
+/// Constant rows become all zeros.
+void zscore_rows(ExpressionMatrix& matrix);
+
+/// Quantile normalization across samples (columns): forces every sample to
+/// share one empirical distribution (the cross-array calibration used for
+/// Affymetrix data).  Ties receive the mean of their quantile values.
+void quantile_normalize(ExpressionMatrix& matrix);
+
+/// log2(x - min + 1) transform per matrix (variance stabilization).
+void log2_transform(ExpressionMatrix& matrix);
+
+}  // namespace gsb::bio
+
+#endif  // GSB_BIO_NORMALIZE_H

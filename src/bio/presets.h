@@ -1,0 +1,47 @@
+#ifndef GSB_BIO_PRESETS_H
+#define GSB_BIO_PRESETS_H
+
+/// \file presets.h
+/// Synthetic analogs of the paper's three evaluation graphs.
+///
+/// | preset       | paper source                          |    n   |    m    | max clique |
+/// |--------------|---------------------------------------|--------|---------|-----------|
+/// | kBrainSparse | mouse brain, U74Av2, tight threshold   | 12,422 |   6,151 |    17     |
+/// | kBrainDense  | mouse brain, U74Av2, loose threshold   | 12,422 | 229,297 |   110     |
+/// | kMyogenic    | myogenic differentiation data [41]     |  2,895 |  10,914 |    28     |
+///
+/// The real inputs are proprietary; these presets regenerate graphs with
+/// the same vertex count, edge count and maximum clique size from the
+/// planted-module ensemble (DESIGN.md documents the substitution).  A
+/// `scale` in (0, 1] shrinks n and m proportionally while preserving the
+/// maximum clique size and the clumpy local structure, so benchmark
+/// workloads stay shape-faithful at container-friendly sizes.
+
+#include <string>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace gsb::bio {
+
+enum class PaperDataset { kBrainSparse, kBrainDense, kMyogenic };
+
+/// Published parameters of one dataset (scaled).
+struct PaperGraphSpec {
+  std::string name;
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::size_t max_clique = 0;
+  double edge_density = 0.0;
+};
+
+/// Spec after applying \p scale (clamped to [0.01, 1]).
+PaperGraphSpec paper_spec(PaperDataset dataset, double scale);
+
+/// Generates the synthetic analog graph (plus ground-truth modules).
+graph::ModuleGraph make_paper_graph(PaperDataset dataset, double scale,
+                                    util::Rng& rng);
+
+}  // namespace gsb::bio
+
+#endif  // GSB_BIO_PRESETS_H

@@ -1,0 +1,164 @@
+#include "bitset/dynamic_bitset.h"
+
+#include <cassert>
+
+namespace gsb::bits {
+
+void DynamicBitset::resize(std::size_t nbits) {
+  nbits_ = nbits;
+  words_.resize(word_count(nbits), 0);
+  trim();
+}
+
+void DynamicBitset::clear_all() noexcept {
+  for (auto& word : words_) word = 0;
+}
+
+void DynamicBitset::set_all() noexcept {
+  for (auto& word : words_) word = ~Word{0};
+  trim();
+}
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t total = 0;
+  for (Word word : words_) {
+    total += static_cast<std::size_t>(__builtin_popcountll(word));
+  }
+  return total;
+}
+
+std::size_t DynamicBitset::count_from(std::size_t pos) const noexcept {
+  if (pos >= nbits_) return 0;
+  std::size_t w = pos / kWordBits;
+  std::size_t total = static_cast<std::size_t>(
+      __builtin_popcountll(words_[w] & (~Word{0} << (pos % kWordBits))));
+  for (++w; w < words_.size(); ++w) {
+    total += static_cast<std::size_t>(__builtin_popcountll(words_[w]));
+  }
+  return total;
+}
+
+bool DynamicBitset::none() const noexcept {
+  for (Word word : words_) {
+    if (word != 0) return false;
+  }
+  return true;
+}
+
+std::size_t DynamicBitset::find_first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits +
+             static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+    }
+  }
+  return nbits_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t pos) const noexcept {
+  ++pos;
+  if (pos >= nbits_) return nbits_;
+  std::size_t w = pos / kWordBits;
+  Word word = words_[w] & (~Word{0} << (pos % kWordBits));
+  while (true) {
+    if (word != 0) {
+      return w * kWordBits + static_cast<std::size_t>(__builtin_ctzll(word));
+    }
+    if (++w >= words_.size()) return nbits_;
+    word = words_[w];
+  }
+}
+
+std::vector<std::uint32_t> DynamicBitset::to_vector() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t index) {
+    out.push_back(static_cast<std::uint32_t>(index));
+  });
+  return out;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) noexcept {
+  assert(nbits_ == other.nbits_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) noexcept {
+  assert(nbits_ == other.nbits_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) noexcept {
+  assert(nbits_ == other.nbits_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::and_not(const DynamicBitset& other) noexcept {
+  assert(nbits_ == other.nbits_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= ~other.words_[w];
+  }
+  return *this;
+}
+
+void DynamicBitset::flip_all() noexcept {
+  for (auto& word : words_) word = ~word;
+  trim();
+}
+
+void DynamicBitset::assign_and(const DynamicBitset& a,
+                               const DynamicBitset& b) noexcept {
+  assert(a.nbits_ == b.nbits_ && nbits_ == a.nbits_);
+  const Word* pa = a.words_.data();
+  const Word* pb = b.words_.data();
+  Word* out = words_.data();
+  for (std::size_t w = 0; w < words_.size(); ++w) out[w] = pa[w] & pb[w];
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& a,
+                               const DynamicBitset& b) noexcept {
+  assert(a.nbits_ == b.nbits_);
+  const Word* pa = a.words_.data();
+  const Word* pb = b.words_.data();
+  for (std::size_t w = 0; w < a.words_.size(); ++w) {
+    if ((pa[w] & pb[w]) != 0) return true;
+  }
+  return false;
+}
+
+std::size_t DynamicBitset::count_and(const DynamicBitset& a,
+                                     const DynamicBitset& b) noexcept {
+  assert(a.nbits_ == b.nbits_);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < a.words_.size(); ++w) {
+    total += static_cast<std::size_t>(
+        __builtin_popcountll(a.words_[w] & b.words_[w]));
+  }
+  return total;
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& other) const noexcept {
+  assert(nbits_ == other.nbits_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+std::string DynamicBitset::to_string() const {
+  std::string out(nbits_, '0');
+  for_each([&](std::size_t index) { out[index] = '1'; });
+  return out;
+}
+
+void DynamicBitset::trim() noexcept {
+  const std::size_t used = nbits_ % kWordBits;
+  if (used != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << used) - 1;
+  }
+}
+
+}  // namespace gsb::bits

@@ -1,0 +1,170 @@
+#ifndef GSB_BITSET_DYNAMIC_BITSET_H
+#define GSB_BITSET_DYNAMIC_BITSET_H
+
+/// \file dynamic_bitset.h
+/// The globally-addressable bitmap index at the heart of the framework.
+///
+/// The paper (Section 2.3) represents the *common neighbors* of a clique as
+/// a bit string of ceil(n/8) bytes: bit i is 1 iff vertex i is adjacent to
+/// every vertex of the clique.  Two operations dominate the algorithm:
+///
+///   * common-neighbor update:  C' = C AND N(v)      (one bitwise AND)
+///   * maximality test:         "does C' contain a 1 bit?"
+///
+/// DynamicBitset provides those as allocation-free primitives
+/// (and_assign / assign_and / intersects) over 64-bit words, plus the usual
+/// set-algebra, population counts and set-bit iteration used by the graph
+/// substrate and the FPT kernels.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gsb::bits {
+
+/// Fixed-universe resizable bitset over 64-bit words.
+///
+/// Invariant: bits at positions >= size() in the last word are zero.  All
+/// binary operations require equally-sized operands (checked by assert in
+/// debug builds; callers in the library always operate within one graph's
+/// vertex universe).
+class DynamicBitset {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  /// Empty bitset over a zero-sized universe.
+  DynamicBitset() = default;
+
+  /// Bitset over a universe of \p nbits positions, all clear.
+  explicit DynamicBitset(std::size_t nbits)
+      : nbits_(nbits), words_(word_count(nbits), 0) {}
+
+  /// Number of addressable bit positions.
+  [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+
+  /// Number of backing words.
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    return words_.size();
+  }
+
+  /// Bytes of backing storage (the paper's ceil(n/8) accounting rounds to
+  /// whole words here; memory reports use size_bytes()).
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return words_.size() * sizeof(Word);
+  }
+
+  /// Resizes the universe; newly exposed bits are clear.
+  void resize(std::size_t nbits);
+
+  /// --- single-bit operations -------------------------------------------
+  void set(std::size_t pos) noexcept {
+    words_[pos / kWordBits] |= Word{1} << (pos % kWordBits);
+  }
+  void reset(std::size_t pos) noexcept {
+    words_[pos / kWordBits] &= ~(Word{1} << (pos % kWordBits));
+  }
+  void flip(std::size_t pos) noexcept {
+    words_[pos / kWordBits] ^= Word{1} << (pos % kWordBits);
+  }
+  [[nodiscard]] bool test(std::size_t pos) const noexcept {
+    return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1u;
+  }
+
+  /// --- whole-set operations --------------------------------------------
+  void clear_all() noexcept;
+  void set_all() noexcept;
+
+  /// Population count.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// Population count of positions in [pos, size()).  This is the
+  /// |CANDIDATES| term of the k-clique enumerator's boundary condition
+  /// (canonical extension only uses vertices above the current one).
+  [[nodiscard]] std::size_t count_from(std::size_t pos) const noexcept;
+
+  /// True if no bit is set.  This is the paper's clique-maximality test.
+  [[nodiscard]] bool none() const noexcept;
+  [[nodiscard]] bool any() const noexcept { return !none(); }
+
+  /// Index of the first set bit, or size() if none.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+
+  /// Index of the first set bit strictly after \p pos, or size() if none.
+  [[nodiscard]] std::size_t find_next(std::size_t pos) const noexcept;
+
+  /// Calls \p fn(index) for every set bit in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * kWordBits + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Materializes the set bits as a sorted vector of 32-bit indices.
+  [[nodiscard]] std::vector<std::uint32_t> to_vector() const;
+
+  /// --- in-place set algebra ---------------------------------------------
+  DynamicBitset& operator&=(const DynamicBitset& other) noexcept;
+  DynamicBitset& operator|=(const DynamicBitset& other) noexcept;
+  DynamicBitset& operator^=(const DynamicBitset& other) noexcept;
+  /// this = this AND NOT other.
+  DynamicBitset& and_not(const DynamicBitset& other) noexcept;
+  /// Flips every bit in the universe.
+  void flip_all() noexcept;
+
+  /// --- allocation-free fused kernels (hot path of the enumerator) -------
+
+  /// this = a AND b.  All three must share one universe; `this` may alias
+  /// either operand.
+  void assign_and(const DynamicBitset& a, const DynamicBitset& b) noexcept;
+
+  /// True iff (a AND b) has any set bit; early-exits on the first hit.
+  /// Equivalent to BitOneExists(BitAND(a, b)) from the paper's pseudocode
+  /// without materializing the intersection.
+  static bool intersects(const DynamicBitset& a,
+                         const DynamicBitset& b) noexcept;
+
+  /// Population count of (a AND b) without materializing it.
+  static std::size_t count_and(const DynamicBitset& a,
+                               const DynamicBitset& b) noexcept;
+
+  /// --- comparisons -------------------------------------------------------
+  bool operator==(const DynamicBitset& other) const noexcept {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+  /// True iff every set bit of this is also set in \p other.
+  [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const noexcept;
+
+  /// --- raw access ---------------------------------------------------------
+  [[nodiscard]] std::span<const Word> words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::span<Word> words() noexcept { return words_; }
+
+  /// "0110..." rendering (bit 0 first), for debugging and tests.
+  [[nodiscard]] std::string to_string() const;
+
+  static constexpr std::size_t word_count(std::size_t nbits) noexcept {
+    return (nbits + kWordBits - 1) / kWordBits;
+  }
+
+ private:
+  /// Clears any bits beyond nbits_ in the last word (restores invariant).
+  void trim() noexcept;
+
+  std::size_t nbits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace gsb::bits
+
+#endif  // GSB_BITSET_DYNAMIC_BITSET_H

@@ -1,0 +1,59 @@
+#ifndef GSB_CORE_BRON_KERBOSCH_H
+#define GSB_CORE_BRON_KERBOSCH_H
+
+/// \file bron_kerbosch.h
+/// The two classical recursive-backtracking maximal-clique enumerators the
+/// paper uses as baselines (§2.2, [40]):
+///
+///  * **Base BK** — Bron & Kerbosch's Algorithm 457, version 1: EXTEND
+///    selects candidates in presentation order.
+///  * **Improved BK** — version 2: the selected vertex is chosen with the
+///    highest number of connections to the remaining CANDIDATES, and after
+///    returning from a branch only vertices *not* adjacent to that pivot are
+///    selected, which prunes re-discovery of overlapping cliques.
+///
+/// Both maintain the three dynamically changing sets of the paper's
+/// description — COMPSUB (the clique in progress), CANDIDATES and NOT — here
+/// as bitmap sets so the intersections are word-parallel.  Both emit maximal
+/// cliques in quasi-random order; neither satisfies the paper's requirement
+/// of non-decreasing size order (that is the Clique Enumerator's job), but
+/// they are the correctness yardstick and the speed baseline.
+
+#include <cstdint>
+
+#include "core/clique.h"
+#include "graph/graph.h"
+
+namespace gsb::core {
+
+/// Statistics returned by either variant.
+struct BronKerboschStats {
+  std::uint64_t maximal_cliques = 0;  ///< cliques emitted
+  std::uint64_t tree_nodes = 0;       ///< EXTEND invocations
+  std::size_t max_depth = 0;          ///< deepest COMPSUB
+};
+
+enum class BronKerboschVariant {
+  kBase,     ///< version 1: candidates in presentation order
+  kImproved  ///< version 2: pivot on max-connectivity candidate
+};
+
+/// Enumerates all maximal cliques of \p g, streaming each to \p sink.
+/// Optionally restricts emission to sizes in \p range (the search itself is
+/// unpruned — BK cannot bound by size without losing maximality witnesses,
+/// which is exactly the motivation for the paper's k-clique seeding).
+BronKerboschStats bron_kerbosch(const graph::Graph& g,
+                                const CliqueCallback& sink,
+                                BronKerboschVariant variant,
+                                const SizeRange& range = {});
+
+/// Convenience wrappers.
+BronKerboschStats base_bk(const graph::Graph& g, const CliqueCallback& sink,
+                          const SizeRange& range = {});
+BronKerboschStats improved_bk(const graph::Graph& g,
+                              const CliqueCallback& sink,
+                              const SizeRange& range = {});
+
+}  // namespace gsb::core
+
+#endif  // GSB_CORE_BRON_KERBOSCH_H

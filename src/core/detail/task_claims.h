@@ -1,0 +1,86 @@
+#ifndef GSB_CORE_DETAIL_TASK_CLAIMS_H
+#define GSB_CORE_DETAIL_TASK_CLAIMS_H
+
+/// \file task_claims.h
+/// Runtime task claiming for the bulk-synchronous rounds.
+///
+/// The scheduler's per-level assignment is a *plan* built from cost
+/// estimates; actual task costs (especially seeding DFS tasks over dense
+/// regions) can deviate by orders of magnitude.  Per §2.3, the centralized
+/// scheduler "transfer[s] some work from heavy loaded threads to
+/// light-loaded (or idle) ones": here a thread that drains its own queue
+/// claims the next unstarted task from the queue with the most work left.
+/// Claims go through one atomic cursor per queue, so every task executes
+/// exactly once and no locks sit on the hot path.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/load_balancer.h"
+
+namespace gsb::core::detail {
+
+/// Exactly-once task dispenser over a per-thread assignment.
+class TaskClaims {
+ public:
+  explicit TaskClaims(const par::Assignment& assignment,
+                      bool allow_steal = true)
+      : assignment_(assignment),
+        cursors_(assignment.tasks.size()),
+        steals_(0),
+        allow_steal_(allow_steal) {
+    for (auto& cursor : cursors_) cursor.store(0, std::memory_order_relaxed);
+  }
+
+  /// Next task index for \p tid: its own queue first, then the victim with
+  /// the most unclaimed tasks.  Returns -1 when every task is claimed.
+  std::int64_t next(std::size_t tid) noexcept {
+    if (const std::int64_t own = claim(tid); own >= 0) return own;
+    if (!allow_steal_) return -1;
+    while (true) {
+      std::size_t victim = cursors_.size();
+      std::size_t best_remaining = 0;
+      for (std::size_t t = 0; t < cursors_.size(); ++t) {
+        if (t == tid) continue;
+        const std::size_t size = assignment_.tasks[t].size();
+        const std::size_t cursor =
+            cursors_[t].load(std::memory_order_relaxed);
+        const std::size_t remaining = cursor < size ? size - cursor : 0;
+        if (remaining > best_remaining) {
+          best_remaining = remaining;
+          victim = t;
+        }
+      }
+      if (victim == cursors_.size()) return -1;
+      if (const std::int64_t stolen = claim(victim); stolen >= 0) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return stolen;
+      }
+      // Lost the race for that victim's last tasks; rescan.
+    }
+  }
+
+  /// Number of tasks executed away from their planned thread.
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::int64_t claim(std::size_t queue) noexcept {
+    const auto& tasks = assignment_.tasks[queue];
+    const std::size_t index =
+        cursors_[queue].fetch_add(1, std::memory_order_relaxed);
+    if (index < tasks.size()) return tasks[index];
+    return -1;
+  }
+
+  const par::Assignment& assignment_;
+  std::vector<std::atomic<std::size_t>> cursors_;
+  std::atomic<std::uint64_t> steals_;
+  bool allow_steal_;
+};
+
+}  // namespace gsb::core::detail
+
+#endif  // GSB_CORE_DETAIL_TASK_CLAIMS_H

@@ -1,0 +1,130 @@
+#include "core/kose.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace gsb::core {
+namespace {
+
+/// One level of the Kose algorithm: every k-clique, stored explicitly as a
+/// flat row-major array in canonical (lexicographic) order.
+struct KoseLevel {
+  std::size_t k = 0;
+  std::vector<graph::VertexId> flat;  ///< size = k * count
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return k == 0 ? 0 : flat.size() / k;
+  }
+  [[nodiscard]] const graph::VertexId* clique(std::size_t index) const noexcept {
+    return flat.data() + index * k;
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return flat.capacity() * sizeof(graph::VertexId);
+  }
+};
+
+/// True iff the sorted k-clique `small` is a subset of the sorted
+/// (k+1)-clique `big` (single merge pass).
+bool contained_in(const graph::VertexId* small, std::size_t k,
+                  const graph::VertexId* big) noexcept {
+  std::size_t bi = 0;
+  for (std::size_t si = 0; si < k; ++si) {
+    while (bi < k + 1 && big[bi] < small[si]) ++bi;
+    if (bi == k + 1 || big[bi] != small[si]) return false;
+    ++bi;
+  }
+  return true;
+}
+
+}  // namespace
+
+KoseStats kose_ram(const graph::Graph& g, const CliqueCallback& sink,
+                   const KoseOptions& options) {
+  util::Timer timer;
+  KoseStats stats;
+  const SizeRange range = options.range;
+
+  // Level 2: the edge list in canonical order.
+  KoseLevel current;
+  current.k = 2;
+  for (const auto& [u, v] : g.edge_list()) {
+    current.flat.push_back(u);
+    current.flat.push_back(v);
+  }
+  stats.cliques_generated += current.count();
+
+  std::vector<graph::VertexId> emit_buf;
+  while (current.count() > 0) {
+    const std::size_t k = current.k;
+    stats.max_level_reached = std::max(stats.max_level_reached, k);
+    if (options.max_stored_cliques != 0 &&
+        current.count() > options.max_stored_cliques) {
+      stats.aborted = true;
+      break;
+    }
+
+    // --- generate all (k+1)-cliques ------------------------------------
+    // Cliques sharing a (k-1)-prefix are contiguous in canonical order;
+    // each in-group pair (i, j) with adjacent tails forms a (k+1)-clique,
+    // appended in canonical order.
+    KoseLevel next;
+    next.k = k + 1;
+    const std::size_t count = current.count();
+    std::size_t group_begin = 0;
+    while (group_begin < count) {
+      std::size_t group_end = group_begin + 1;
+      const graph::VertexId* base = current.clique(group_begin);
+      while (group_end < count &&
+             std::equal(base, base + k - 1, current.clique(group_end))) {
+        ++group_end;
+      }
+      for (std::size_t i = group_begin; i < group_end; ++i) {
+        const graph::VertexId u = current.clique(i)[k - 1];
+        for (std::size_t j = i + 1; j < group_end; ++j) {
+          const graph::VertexId w = current.clique(j)[k - 1];
+          if (!g.has_edge(u, w)) continue;
+          next.flat.insert(next.flat.end(), base, base + k - 1);
+          next.flat.push_back(u);
+          next.flat.push_back(w);
+        }
+      }
+      group_begin = group_end;
+    }
+    stats.cliques_generated += next.count();
+    stats.peak_bytes =
+        std::max(stats.peak_bytes, current.bytes() + next.bytes());
+
+    // --- maximality by containment scan ---------------------------------
+    // A k-clique is maximal iff no (k+1)-clique contains it.  This is the
+    // baseline's expensive step, reproduced as described: a linear search
+    // of the complete (k+1) list per k-clique.
+    if (range.contains(k)) {
+      const std::size_t next_count = next.count();
+      for (std::size_t i = 0; i < count; ++i) {
+        const graph::VertexId* candidate = current.clique(i);
+        bool maximal = true;
+        for (std::size_t j = 0; j < next_count; ++j) {
+          ++stats.containment_scans;
+          if (contained_in(candidate, k, next.clique(j))) {
+            maximal = false;
+            break;
+          }
+        }
+        if (maximal) {
+          ++stats.total_maximal;
+          emit_buf.assign(candidate, candidate + k);
+          sink(emit_buf);
+        }
+      }
+    }
+
+    if (!range.open_above(k)) break;
+    current = std::move(next);
+  }
+
+  stats.total_seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace gsb::core

@@ -1,0 +1,286 @@
+#include "core/parallel_enumerator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/detail/mapped_sink.h"
+#include "core/detail/sublist_kernel.h"
+#include "core/detail/task_claims.h"
+#include "core/kclique.h"
+#include "graph/transforms.h"
+#include "parallel/thread_pool.h"
+#include "util/timer.h"
+
+namespace gsb::core {
+namespace {
+
+using detail::BitsetPool;
+using detail::MappedSink;
+using graph::VertexId;
+
+/// Thread-local output of one bulk-synchronous round: generated sub-lists,
+/// emitted maximal cliques (flat, fixed stride), and counters.
+struct WorkerOutput {
+  Level next;
+  std::vector<VertexId> emitted;  ///< flat cliques, stride = clique size
+  detail::KernelCounters counters;
+  double busy_seconds = 0.0;
+};
+
+}  // namespace
+
+ParallelEnumerationStats enumerate_maximal_cliques_parallel(
+    const graph::Graph& g, const CliqueCallback& sink,
+    const ParallelOptions& options) {
+  util::Timer total_timer;
+  ParallelEnumerationStats pstats;
+  EnumerationStats& stats = pstats.base;
+  util::MemoryTracker& tracker = options.tracker != nullptr
+                                     ? *options.tracker
+                                     : util::global_memory_tracker();
+  const SizeRange range = options.range;
+  const std::size_t lo = std::max<std::size_t>(range.lo, 1);
+  const std::size_t num_threads = options.threads != 0
+                                      ? options.threads
+                                      : par::ThreadPool::default_threads();
+  pstats.threads = num_threads;
+  pstats.seed_thread_seconds.assign(num_threads, 0.0);
+  pstats.thread_busy_seconds.assign(num_threads, 0.0);
+
+  // Size-1 maximal cliques (isolated vertices) are only reachable here.
+  if (lo == 1) {
+    Clique buf(1);
+    for (VertexId v = 0; v < g.order(); ++v) {
+      if (g.degree(v) == 0) {
+        buf[0] = v;
+        ++stats.total_maximal;
+        sink(buf);
+      }
+    }
+  }
+  const std::size_t seed_k = std::max<std::size_t>(lo, 2);
+  if (range.hi != 0 && range.hi < seed_k) {
+    stats.total_seconds = total_timer.seconds();
+    stats.finalize();
+    return pstats;
+  }
+
+  // --- degree preprocessing (identical to the sequential driver) ----------
+  const graph::Graph* work = &g;
+  graph::InducedSubgraph reduced;
+  const std::vector<VertexId>* mapping = nullptr;
+  if (options.use_kcore && seed_k >= 2) {
+    reduced = graph::kcore_subgraph(g, seed_k - 1);
+    if (reduced.graph.order() < g.order()) {
+      work = &reduced.graph;
+      mapping = &reduced.mapping;
+    }
+  }
+  MappedSink mapped(sink, mapping);
+  const std::size_t n = work->order();
+
+  par::ThreadPool pool(num_threads);
+  par::LoadBalancer balancer(options.balancer);
+  std::vector<BitsetPool> bitset_pools;
+  bitset_pools.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) bitset_pools.emplace_back(n);
+
+  // --- parallel seeding -------------------------------------------------------
+  // Seed tasks are canonical 2-prefixes (edges) at Init_K >= 3 — fine
+  // enough that no single dense region becomes an unsplittable task — or
+  // root vertices at Init_K = 2.  Costs are estimated from the size of the
+  // admissible candidate set (one bitwise AND per task), and the same
+  // centralized scheduler balances them.
+  util::Timer seed_timer;
+  Level current;
+  std::vector<std::uint32_t> home;  // producing thread of each sub-list
+  {
+    const bool pair_seed = seed_k >= 3;
+    std::vector<SeedPair> pairs;
+    std::vector<std::uint64_t> costs;
+    if (pair_seed) {
+      pairs = collect_seed_pairs(*work);
+      costs.resize(pairs.size());
+      bits::DynamicBitset scratch(n);
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        scratch.assign_and(work->neighbors(pairs[i].v),
+                           work->neighbors(pairs[i].u));
+        const std::uint64_t cand = scratch.count_from(pairs[i].u + 1);
+        costs[i] = cand * cand * cand / 6 + cand + 1;
+      }
+    } else {
+      costs.resize(n);
+      for (VertexId v = 0; v < n; ++v) {
+        const std::uint64_t d = work->degree(v);
+        costs[v] = d * d + 1;
+      }
+    }
+    const par::Assignment assignment = balancer.assign(costs, {}, num_threads);
+    detail::TaskClaims claims(assignment, options.dynamic_claiming);
+
+    struct SeedOutput {
+      Level level;
+      std::vector<VertexId> emitted;
+      KCliqueStats stats;
+      double busy_seconds = 0.0;
+    };
+    std::vector<SeedOutput> outputs(num_threads);
+    SeedTrace seed_trace;
+    if (options.record_trace) {
+      seed_trace.task_work.assign(costs.size(), 0);
+      seed_trace.task_seconds.assign(costs.size(), 0.0);
+    }
+    pool.run_round([&](std::size_t tid) {
+      const double cpu_begin = util::thread_cpu_seconds();
+      SeedOutput& out = outputs[tid];
+      const CliqueCallback local_sink = [&](std::span<const VertexId> clique) {
+        out.emitted.insert(out.emitted.end(), clique.begin(), clique.end());
+      };
+      SeedLevelWorker worker(*work, seed_k, local_sink);
+      std::int64_t task;
+      while ((task = claims.next(tid)) >= 0) {
+        const auto index = static_cast<std::size_t>(task);
+        util::Timer task_timer;
+        const std::uint64_t nodes_before = worker.stats().tree_nodes;
+        if (pair_seed) {
+          worker.process_pair(pairs[index]);
+        } else {
+          worker.process_root(static_cast<VertexId>(index));
+        }
+        if (options.record_trace) {
+          seed_trace.task_work[index] =
+              worker.stats().tree_nodes - nodes_before;
+          seed_trace.task_seconds[index] = task_timer.seconds();
+        }
+      }
+      out.stats = worker.stats();
+      out.level = worker.take_level();
+      out.busy_seconds = util::thread_cpu_seconds() - cpu_begin;
+    });
+    pstats.total_transfers += claims.steals();
+
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      SeedOutput& out = outputs[t];
+      pstats.seed_thread_seconds[t] = out.busy_seconds;
+      pstats.thread_busy_seconds[t] += out.busy_seconds;
+      for (std::size_t i = 0; i + seed_k <= out.emitted.size();
+           i += seed_k) {
+        ++stats.total_maximal;
+        mapped.emit(std::span<const VertexId>(&out.emitted[i], seed_k));
+      }
+      for (auto& sublist : out.level) {
+        tracker.allocate(sublist.bytes(), util::MemTag::kCliqueStorage);
+        current.push_back(std::move(sublist));
+        home.push_back(static_cast<std::uint32_t>(t));
+      }
+    }
+    if (options.record_trace) stats.seed_trace = std::move(seed_trace);
+  }
+  stats.seed_seconds = seed_timer.seconds();
+
+  // --- level-synchronous enumeration -----------------------------------------
+  std::size_t k = seed_k;
+  while (!current.empty() && range.open_above(k)) {
+    util::Timer level_timer;
+    LevelStats level;
+    level.k = k;
+    const LevelCounts counts = count_level(current);
+    level.sublists = counts.sublists;
+    level.candidates = counts.candidates;
+    level.bytes_formula = level_bytes_formula(counts, k, n);
+    level.bytes_actual = level_bytes_actual(current);
+
+    // Scheduling decision: per-task cost estimates are the pair-comparison
+    // work each sub-list will perform.
+    std::vector<std::uint64_t> costs(current.size());
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      costs[i] = current[i].pair_work() + 1;
+    }
+    const par::Assignment assignment =
+        balancer.assign(costs, home, num_threads);
+    pstats.total_transfers += assignment.transfers;
+    detail::TaskClaims claims(assignment, options.dynamic_claiming);
+
+    LevelTrace trace;
+    if (options.record_trace) {
+      trace.k = k;
+      trace.task_work.assign(current.size(), 0);
+      trace.task_seconds.assign(current.size(), 0.0);
+    }
+
+    std::vector<WorkerOutput> outputs(num_threads);
+    pool.run_round([&](std::size_t tid) {
+      const double cpu_begin = util::thread_cpu_seconds();
+      WorkerOutput& out = outputs[tid];
+      detail::MemoryLedger ledger(tracker);
+      std::int64_t claimed;
+      while ((claimed = claims.next(tid)) >= 0) {
+        const auto task = static_cast<std::uint32_t>(claimed);
+        util::Timer task_timer;
+        CliqueSublist& sublist = current[task];
+        const std::uint64_t work_proxy = sublist.pair_work();
+        const auto counters = detail::process_sublist(
+            *work, sublist,
+            [&](const std::vector<VertexId>& prefix, VertexId v, VertexId u) {
+              out.emitted.insert(out.emitted.end(), prefix.begin(),
+                                 prefix.end());
+              out.emitted.push_back(v);
+              out.emitted.push_back(u);
+            },
+            out.next, bitset_pools[tid], ledger);
+        out.counters.pairs_checked += counters.pairs_checked;
+        out.counters.edges_present += counters.edges_present;
+        out.counters.maximal_emitted += counters.maximal_emitted;
+        if (options.record_trace) {
+          trace.task_work[task] = work_proxy;
+          trace.task_seconds[task] = task_timer.seconds();
+        }
+      }
+      out.busy_seconds = util::thread_cpu_seconds() - cpu_begin;
+    });
+    pstats.total_transfers += claims.steals();
+
+    // Collect results (single-threaded scheduler step, as in the paper).
+    Level next;
+    std::vector<std::uint32_t> next_home;
+    std::vector<double> thread_seconds(num_threads, 0.0);
+    const std::size_t emit_stride = k + 1;
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      WorkerOutput& out = outputs[t];
+      thread_seconds[t] = out.busy_seconds;
+      pstats.thread_busy_seconds[t] += out.busy_seconds;
+      level.pairs_checked += out.counters.pairs_checked;
+      level.edges_present += out.counters.edges_present;
+      level.maximal_emitted += out.counters.maximal_emitted;
+      stats.total_maximal += out.counters.maximal_emitted;
+      for (std::size_t i = 0; i + emit_stride <= out.emitted.size();
+           i += emit_stride) {
+        mapped.emit(std::span<const VertexId>(&out.emitted[i], emit_stride));
+      }
+      for (auto& sublist : out.next) {
+        next.push_back(std::move(sublist));
+        next_home.push_back(static_cast<std::uint32_t>(t));
+      }
+    }
+    current = std::move(next);
+    home = std::move(next_home);
+    ++k;
+
+    level.seconds = level_timer.seconds();
+    stats.levels.push_back(level);
+    pstats.level_thread_seconds.push_back(std::move(thread_seconds));
+    if (options.record_trace) stats.traces.push_back(std::move(trace));
+    if (options.progress) options.progress(level);
+  }
+
+  // Window closed with candidates still alive: release their accounting.
+  for (const auto& sublist : current) {
+    tracker.release(sublist.bytes(), util::MemTag::kCliqueStorage);
+  }
+
+  stats.total_seconds = total_timer.seconds();
+  stats.finalize();
+  return pstats;
+}
+
+}  // namespace gsb::core

@@ -1,0 +1,29 @@
+#include "core/sublist.h"
+
+namespace gsb::core {
+
+LevelCounts count_level(const Level& level) noexcept {
+  LevelCounts counts;
+  counts.sublists = level.size();
+  for (const auto& sublist : level) counts.candidates += sublist.count();
+  return counts;
+}
+
+std::size_t level_bytes_formula(const LevelCounts& counts, std::size_t k,
+                                std::size_t n) noexcept {
+  constexpr std::size_t c = sizeof(graph::VertexId);
+  const std::size_t bitmap_bytes = (n + 7) / 8;
+  return counts.candidates * c +
+         counts.sublists * ((k - 1) * c + bitmap_bytes) +
+         counts.sublists * sizeof(void*);
+}
+
+std::size_t level_bytes_actual(const Level& level) noexcept {
+  std::size_t total = level.capacity() * sizeof(CliqueSublist);
+  for (const auto& sublist : level) {
+    total += sublist.bytes() - sizeof(CliqueSublist);
+  }
+  return total;
+}
+
+}  // namespace gsb::core

@@ -1,0 +1,80 @@
+#ifndef GSB_CORE_SUBLIST_H
+#define GSB_CORE_SUBLIST_H
+
+/// \file sublist.h
+/// The candidate k-clique **sub-list** — the paper's central data structure
+/// (§2.3).
+///
+/// All candidate k-cliques that share a (k−1)-clique prefix are stored
+/// together as:
+///   * the shared prefix, kept **once** (k−1 vertex ids),
+///   * the bit string of the prefix's common neighbors (⌈n/8⌉ bytes), and
+///   * the array of k-th vertices ("tails"), ascending, each one standing
+///     for the candidate clique prefix ∪ {tail}.
+///
+/// This factorization is what turns the level-by-level enumeration from
+/// memory-infeasible (Kose et al. store every clique explicitly) into the
+/// paper's compact form, and it is also the unit of parallel work: a
+/// sub-list is processed independently of every other sub-list.
+
+#include <cstdint>
+#include <vector>
+
+#include "bitset/dynamic_bitset.h"
+#include "graph/graph.h"
+
+namespace gsb::core {
+
+/// One sub-list of candidate k-cliques sharing a (k-1)-clique.
+struct CliqueSublist {
+  std::vector<graph::VertexId> prefix;  ///< the shared (k-1)-clique, sorted
+  bits::DynamicBitset common;           ///< common neighbors of the prefix
+  std::vector<graph::VertexId> tails;   ///< k-th vertices, ascending
+
+  /// Size k of the candidate cliques this sub-list represents.
+  [[nodiscard]] std::size_t clique_size() const noexcept {
+    return prefix.size() + 1;
+  }
+
+  /// Number of candidate cliques in this sub-list.
+  [[nodiscard]] std::size_t count() const noexcept { return tails.size(); }
+
+  /// Actual bytes held by this sub-list's storage.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return prefix.capacity() * sizeof(graph::VertexId) +
+           tails.capacity() * sizeof(graph::VertexId) + common.size_bytes() +
+           sizeof(CliqueSublist);
+  }
+
+  /// Upper bound on pair-comparison work when this sub-list generates the
+  /// next level: the paper's O((n-k)^2) inner loop, exactly t*(t-1)/2.
+  [[nodiscard]] std::uint64_t pair_work() const noexcept {
+    const std::uint64_t t = tails.size();
+    return t * (t - 1) / 2;
+  }
+};
+
+/// A level: every candidate k-clique sub-list for one k.
+using Level = std::vector<CliqueSublist>;
+
+/// Aggregate counts for a level.
+struct LevelCounts {
+  std::uint64_t sublists = 0;    ///< the paper's N[k]
+  std::uint64_t candidates = 0;  ///< the paper's M[k]
+};
+
+/// Counts sub-lists and candidate cliques of a level.
+LevelCounts count_level(const Level& level) noexcept;
+
+/// The paper's closed-form space requirement for a level at clique size k:
+///   M[k]*c + N[k]*((k-1)*c + ceil(n/8)) + N[k]*sizeof(pointer)
+/// with c = sizeof(VertexId).
+std::size_t level_bytes_formula(const LevelCounts& counts, std::size_t k,
+                                std::size_t n) noexcept;
+
+/// Actual bytes across all sub-lists of a level.
+std::size_t level_bytes_actual(const Level& level) noexcept;
+
+}  // namespace gsb::core
+
+#endif  // GSB_CORE_SUBLIST_H

@@ -1,0 +1,211 @@
+#include "fpt/feedback_vertex_set.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "bitset/dynamic_bitset.h"
+
+namespace gsb::fpt {
+namespace {
+
+using bits::DynamicBitset;
+
+/// Mutable view: the graph stays fixed; `alive` masks deleted vertices.
+struct State {
+  const graph::Graph* g = nullptr;
+  DynamicBitset alive;
+
+  [[nodiscard]] std::size_t live_degree(VertexId v) const {
+    return DynamicBitset::count_and(alive, g->neighbors(v));
+  }
+};
+
+/// Deletes degree-<=1 vertices to a fixed point (they lie on no cycle).
+void prune_trees(State& s) {
+  std::vector<VertexId> queue;
+  for (std::size_t v = s.alive.find_first(); v < s.alive.size();
+       v = s.alive.find_next(v)) {
+    if (s.live_degree(static_cast<VertexId>(v)) <= 1) {
+      queue.push_back(static_cast<VertexId>(v));
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId v = queue.back();
+    queue.pop_back();
+    if (!s.alive.test(v)) continue;
+    s.alive.reset(v);
+    s.g->neighbors(v).for_each([&](std::size_t u) {
+      if (s.alive.test(u) && s.live_degree(static_cast<VertexId>(u)) <= 1) {
+        queue.push_back(static_cast<VertexId>(u));
+      }
+    });
+  }
+}
+
+/// Shortest cycle through BFS from every live vertex; empty when acyclic.
+/// Returns the cycle's vertices.
+std::vector<VertexId> shortest_cycle(const State& s) {
+  std::vector<VertexId> best;
+  const std::size_t n = s.alive.size();
+  std::vector<std::int64_t> parent(n);
+  std::vector<std::int32_t> depth(n);
+  for (std::size_t root = s.alive.find_first(); root < n;
+       root = s.alive.find_next(root)) {
+    // BFS tree from root; the first non-tree edge closing back on the BFS
+    // tree yields a short cycle through the root's component.
+    std::fill(parent.begin(), parent.end(), -1);
+    std::fill(depth.begin(), depth.end(), -1);
+    std::queue<VertexId> frontier;
+    frontier.push(static_cast<VertexId>(root));
+    depth[root] = 0;
+    parent[root] = static_cast<std::int64_t>(root);
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop();
+      bool done = false;
+      s.g->neighbors(v).for_each([&](std::size_t u) {
+        if (done || !s.alive.test(u)) return;
+        if (depth[u] < 0) {
+          depth[u] = depth[v] + 1;
+          parent[u] = v;
+          frontier.push(static_cast<VertexId>(u));
+          return;
+        }
+        if (static_cast<std::int64_t>(u) == parent[v]) return;
+        // Non-tree edge (v, u): walk both ends up to their meeting point.
+        std::vector<VertexId> left{v};
+        std::vector<VertexId> right{static_cast<VertexId>(u)};
+        VertexId a = v;
+        VertexId b = static_cast<VertexId>(u);
+        while (a != b) {
+          if (depth[a] >= depth[b]) {
+            a = static_cast<VertexId>(parent[a]);
+            left.push_back(a);
+          } else {
+            b = static_cast<VertexId>(parent[b]);
+            right.push_back(b);
+          }
+        }
+        // a == b is the meeting vertex, present at the back of `left`.
+        std::vector<VertexId> cycle(left);
+        for (std::size_t i = right.size() - 1; i-- > 0;) {
+          cycle.push_back(right[i]);
+        }
+        if (best.empty() || cycle.size() < best.size()) best = cycle;
+        done = true;
+      });
+      if (done) break;
+    }
+    if (best.size() == 3) break;  // no shorter cycle exists
+  }
+  return best;
+}
+
+class FvsSearch {
+ public:
+  FvsSearch(const graph::Graph& g, const FeedbackVertexSetOptions& options,
+            FeedbackVertexSetResult& result)
+      : g_(g), options_(options), result_(result) {}
+
+  bool solve(State s, std::size_t k, std::vector<VertexId>& chosen) {
+    ++result_.tree_nodes;
+    if (options_.max_nodes != 0 && result_.tree_nodes > options_.max_nodes) {
+      result_.aborted = true;
+      return false;
+    }
+    prune_trees(s);
+    const auto cycle = shortest_cycle(s);
+    if (cycle.empty()) {
+      result_.fvs = chosen;
+      std::sort(result_.fvs.begin(), result_.fvs.end());
+      result_.feasible = true;
+      return true;
+    }
+    if (k == 0) return false;
+    // Some vertex of every cycle belongs to the solution.
+    for (const VertexId v : cycle) {
+      State child = s;
+      child.alive.reset(v);
+      chosen.push_back(v);
+      if (solve(std::move(child), k - 1, chosen)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  }
+
+ private:
+  const graph::Graph& g_;
+  const FeedbackVertexSetOptions& options_;
+  FeedbackVertexSetResult& result_;
+};
+
+}  // namespace
+
+FeedbackVertexSetResult feedback_vertex_set_decide(
+    const graph::Graph& g, std::size_t k,
+    const FeedbackVertexSetOptions& options) {
+  FeedbackVertexSetResult result;
+  State s;
+  s.g = &g;
+  s.alive.resize(g.order());
+  s.alive.set_all();
+  FvsSearch search(g, options, result);
+  std::vector<VertexId> chosen;
+  search.solve(std::move(s), k, chosen);
+  return result;
+}
+
+MinFeedbackVertexSetResult minimum_feedback_vertex_set(
+    const graph::Graph& g, const FeedbackVertexSetOptions& options) {
+  MinFeedbackVertexSetResult result;
+  for (std::size_t k = 0; k <= g.order(); ++k) {
+    auto attempt = feedback_vertex_set_decide(g, k, options);
+    result.tree_nodes += attempt.tree_nodes;
+    if (attempt.feasible) {
+      result.fvs = std::move(attempt.fvs);
+      break;
+    }
+    if (attempt.aborted) break;
+  }
+  return result;
+}
+
+bool is_feedback_vertex_set(const graph::Graph& g,
+                            const std::vector<VertexId>& fvs) {
+  DynamicBitset alive(g.order());
+  alive.set_all();
+  for (VertexId v : fvs) {
+    if (v >= g.order()) return false;
+    alive.reset(v);
+  }
+  // Acyclic iff every component's BFS meets no non-tree edge.
+  std::vector<std::int64_t> parent(g.order(), -1);
+  std::vector<bool> seen(g.order(), false);
+  for (std::size_t root = alive.find_first(); root < g.order();
+       root = alive.find_next(root)) {
+    if (seen[root]) continue;
+    std::queue<VertexId> frontier;
+    frontier.push(static_cast<VertexId>(root));
+    seen[root] = true;
+    parent[root] = static_cast<std::int64_t>(root);
+    bool cyclic = false;
+    while (!frontier.empty() && !cyclic) {
+      const VertexId v = frontier.front();
+      frontier.pop();
+      g.neighbors(v).for_each([&](std::size_t u) {
+        if (!alive.test(u) || cyclic) return;
+        if (!seen[u]) {
+          seen[u] = true;
+          parent[u] = v;
+          frontier.push(static_cast<VertexId>(u));
+        } else if (static_cast<std::int64_t>(u) != parent[v]) {
+          cyclic = true;
+        }
+      });
+    }
+    if (cyclic) return false;
+  }
+  return true;
+}
+
+}  // namespace gsb::fpt

@@ -1,0 +1,64 @@
+#ifndef GSB_FPT_FEEDBACK_VERTEX_SET_H
+#define GSB_FPT_FEEDBACK_VERTEX_SET_H
+
+/// \file feedback_vertex_set.h
+/// Feedback vertex set by bounded search (the paper's §4 future-work
+/// application: "in phylogenetic footprinting ... it is feedback vertex set
+/// that is the crucial combinatorial problem" [42, 43]).
+///
+/// A feedback vertex set (FVS) is a vertex set whose removal leaves the
+/// graph acyclic.  The solver here is the classic shortest-cycle branching:
+///   * reductions: repeatedly delete degree-<=1 vertices (they lie on no
+///     cycle); a vertex carrying a multi-edge after degree-2 smoothing
+///     would be forced — this implementation keeps simple graphs and
+///     branches instead;
+///   * branch: find a *shortest* cycle and try each of its vertices in the
+///     solution (some vertex of every cycle must be chosen, and short
+///     cycles bound the branching factor).
+/// Exponential in k with a polynomial kernel step, in the same
+/// branching-algorithm family the paper's framework targets ("our methods
+/// make extensive use of branching ... and so benefit from immense shared
+/// memory").
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gsb::fpt {
+
+using graph::VertexId;
+
+/// Outcome of an FVS decision query.
+struct FeedbackVertexSetResult {
+  bool feasible = false;        ///< an FVS of size <= k exists
+  std::vector<VertexId> fvs;    ///< witness (sorted) when feasible
+  std::uint64_t tree_nodes = 0; ///< branching nodes explored
+  bool aborted = false;         ///< node budget exhausted
+};
+
+/// Options.
+struct FeedbackVertexSetOptions {
+  std::uint64_t max_nodes = 0;  ///< search-tree budget; 0 = unlimited
+};
+
+/// Decides whether \p g has a feedback vertex set of size at most \p k.
+FeedbackVertexSetResult feedback_vertex_set_decide(
+    const graph::Graph& g, std::size_t k,
+    const FeedbackVertexSetOptions& options = {});
+
+/// Minimum feedback vertex set via incremental deepening on k.
+struct MinFeedbackVertexSetResult {
+  std::vector<VertexId> fvs;
+  std::uint64_t tree_nodes = 0;
+};
+MinFeedbackVertexSetResult minimum_feedback_vertex_set(
+    const graph::Graph& g, const FeedbackVertexSetOptions& options = {});
+
+/// True iff removing \p fvs from \p g leaves an acyclic graph.
+bool is_feedback_vertex_set(const graph::Graph& g,
+                            const std::vector<VertexId>& fvs);
+
+}  // namespace gsb::fpt
+
+#endif  // GSB_FPT_FEEDBACK_VERTEX_SET_H

@@ -1,0 +1,37 @@
+#include "fpt/max_clique_vc.h"
+
+#include <algorithm>
+
+#include "graph/transforms.h"
+#include "util/timer.h"
+
+namespace gsb::fpt {
+
+VcCliqueResult maximum_clique_via_vertex_cover(
+    const graph::Graph& g, const VertexCoverOptions& options) {
+  util::Timer timer;
+  VcCliqueResult result;
+  const graph::Graph comp = graph::complement(g);
+  MinVertexCoverResult mvc = minimum_vertex_cover(comp, options);
+  result.tree_nodes = mvc.tree_nodes;
+
+  std::vector<bool> covered(g.order(), false);
+  for (VertexId v : mvc.cover) {
+    if (v < g.order()) covered[v] = true;
+  }
+  for (VertexId v = 0; v < g.order(); ++v) {
+    if (!covered[v]) result.clique.push_back(v);
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+bool has_clique_of_size(const graph::Graph& g, std::size_t size,
+                        const VertexCoverOptions& options) {
+  if (size == 0) return true;
+  if (size > g.order()) return false;
+  const graph::Graph comp = graph::complement(g);
+  return vertex_cover_decide(comp, g.order() - size, options).feasible;
+}
+
+}  // namespace gsb::fpt

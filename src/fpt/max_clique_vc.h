@@ -1,0 +1,37 @@
+#ifndef GSB_FPT_MAX_CLIQUE_VC_H
+#define GSB_FPT_MAX_CLIQUE_VC_H
+
+/// \file max_clique_vc.h
+/// Maximum clique through the FPT vertex-cover reduction (§2.1):
+/// a set C is a clique of G iff V \ C is a vertex cover of the complement
+/// graph, so omega(G) = n - tau(complement(G)).  The route shines exactly
+/// when cliques are large relative to n (high-threshold correlation graphs,
+/// phylogeny compatibility graphs): the cover parameter k = n - |C| is then
+/// small and the O(c^k) search tree shallow.
+
+#include "core/clique.h"
+#include "fpt/vertex_cover.h"
+#include "graph/graph.h"
+
+namespace gsb::fpt {
+
+/// Result of the complement/vertex-cover max-clique computation.
+struct VcCliqueResult {
+  core::Clique clique;          ///< a maximum clique of g (sorted)
+  std::uint64_t tree_nodes = 0; ///< VC search-tree nodes over all queries
+  double seconds = 0.0;
+};
+
+/// Computes a maximum clique of \p g via minimum vertex cover on the
+/// complement.
+VcCliqueResult maximum_clique_via_vertex_cover(
+    const graph::Graph& g, const VertexCoverOptions& options = {});
+
+/// Decides whether \p g contains a clique of at least \p size vertices
+/// (one parameterized vertex-cover query with k = n - size).
+bool has_clique_of_size(const graph::Graph& g, std::size_t size,
+                        const VertexCoverOptions& options = {});
+
+}  // namespace gsb::fpt
+
+#endif  // GSB_FPT_MAX_CLIQUE_VC_H

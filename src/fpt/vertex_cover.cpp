@@ -1,0 +1,311 @@
+#include "fpt/vertex_cover.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bitset/dynamic_bitset.h"
+#include "util/timer.h"
+
+namespace gsb::fpt {
+namespace {
+
+using bits::DynamicBitset;
+
+/// Degree-2 fold record: z replaced the path v - u - w (u the degree-2
+/// vertex).  Reconstruction (in reverse order of creation): if z is in the
+/// cover, replace it by {v, w}; otherwise add u.
+struct FoldRecord {
+  VertexId z, u, v, w;
+};
+
+/// Mutable problem state.  Branching copies the state (simple and exception
+/// safe; the instances this library solves through the VC route are the
+/// complements of dense compatibility graphs, i.e. small).
+struct State {
+  std::vector<DynamicBitset> adj;  ///< rows contain live neighbors only
+  DynamicBitset alive;
+  std::vector<std::uint32_t> degree;
+  std::size_t universe = 0;    ///< allocated id slots (n + fold slots)
+  std::size_t next_slot = 0;   ///< first unused fold slot
+  std::size_t num_edges = 0;
+  std::int64_t k = 0;
+  std::vector<VertexId> chosen;
+  std::vector<FoldRecord> folds;
+
+  void remove_vertex(VertexId v) {
+    adj[v].for_each([&](std::size_t u) {
+      adj[u].reset(v);
+      --degree[u];
+      --num_edges;
+    });
+    adj[v].clear_all();
+    degree[v] = 0;
+    alive.reset(v);
+  }
+
+  void take_into_cover(VertexId v) {
+    chosen.push_back(v);
+    remove_vertex(v);
+    --k;
+  }
+};
+
+State make_state(const graph::Graph& g, std::size_t k) {
+  State s;
+  const std::size_t n = g.order();
+  // Each fold removes three vertices and adds one, so at most n/2 + 1 new
+  // slots can ever be needed.
+  s.universe = n + n / 2 + 2;
+  s.next_slot = n;
+  s.adj.assign(s.universe, DynamicBitset(s.universe));
+  s.alive.resize(s.universe);
+  s.degree.assign(s.universe, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    s.alive.set(v);
+    s.degree[v] = static_cast<std::uint32_t>(g.degree(v));
+    g.neighbors(v).for_each([&](std::size_t u) { s.adj[v].set(u); });
+  }
+  s.num_edges = g.num_edges();
+  s.k = static_cast<std::int64_t>(k);
+  return s;
+}
+
+/// Applies reduction rules to a fixed point.  Returns false when the state
+/// is already infeasible.
+bool kernelize(State& s, const VertexCoverOptions& options,
+               std::uint64_t& removals) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (s.k < 0) return false;
+    for (std::size_t v = s.alive.find_first(); v < s.universe;
+         v = s.alive.find_next(v)) {
+      const auto vid = static_cast<VertexId>(v);
+      const std::uint32_t d = s.degree[v];
+      if (d == 0) {
+        s.alive.reset(v);  // never needed in a cover
+        ++removals;
+        changed = true;
+        continue;
+      }
+      if (static_cast<std::int64_t>(d) > s.k) {
+        // Buss: a vertex of degree > k must be in every size-<=k cover.
+        s.take_into_cover(vid);
+        ++removals;
+        changed = true;
+        if (s.k < 0) return false;
+        continue;
+      }
+      if (d == 1) {
+        // Pendant: cover the unique neighbor.
+        const auto u = static_cast<VertexId>(s.adj[v].find_first());
+        s.take_into_cover(u);
+        ++removals;
+        changed = true;
+        if (s.k < 0) return false;
+        continue;
+      }
+      if (d == 2 && options.use_folding) {
+        const auto a = static_cast<VertexId>(s.adj[v].find_first());
+        const auto b = static_cast<VertexId>(s.adj[v].find_next(a));
+        if (s.adj[a].test(b)) {
+          // Triangle: {a, b} dominate v's edges.
+          s.take_into_cover(a);
+          s.take_into_cover(b);
+          s.alive.reset(v);
+          s.degree[v] = 0;
+          s.adj[a].reset(v);  // v already isolated: edges were removed
+          removals += 3;
+          changed = true;
+          if (s.k < 0) return false;
+          continue;
+        }
+        // Fold v (degree-2, independent neighbors a, b) into fresh z.
+        assert(s.next_slot < s.universe);
+        const auto z = static_cast<VertexId>(s.next_slot++);
+        DynamicBitset merged = s.adj[a];
+        merged |= s.adj[b];
+        merged.reset(v);
+        merged.reset(a);
+        merged.reset(b);
+        s.remove_vertex(vid);
+        s.remove_vertex(a);
+        s.remove_vertex(b);
+        s.alive.set(z);
+        s.adj[z] = merged;
+        std::uint32_t dz = 0;
+        merged.for_each([&](std::size_t x) {
+          s.adj[x].set(z);
+          ++s.degree[x];
+          ++s.num_edges;
+          ++dz;
+        });
+        s.degree[z] = dz;
+        s.k -= 1;
+        s.folds.push_back(FoldRecord{z, vid, a, b});
+        removals += 2;
+        changed = true;
+        if (s.k < 0) return false;
+        continue;
+      }
+    }
+  }
+  return true;
+}
+
+/// Bounded search tree over kernelized states.
+class VcSearch {
+ public:
+  VcSearch(const VertexCoverOptions& options, VertexCoverResult& result)
+      : options_(options), result_(result) {}
+
+  bool solve(State s) {  // by value: each node owns its state
+    ++result_.tree_nodes;
+    if (options_.max_nodes != 0 && result_.tree_nodes > options_.max_nodes) {
+      result_.aborted = true;
+      return false;
+    }
+    if (options_.use_kernelization) {
+      if (!kernelize(s, options_, result_.kernel_removals)) return false;
+    }
+    if (s.k < 0) return false;
+    if (s.num_edges == 0) {
+      finish(s);
+      return true;
+    }
+    if (s.k == 0) return false;
+
+    // Pick a live vertex of maximum degree.
+    VertexId best = 0;
+    std::uint32_t best_degree = 0;
+    for (std::size_t v = s.alive.find_first(); v < s.universe;
+         v = s.alive.find_next(v)) {
+      if (s.degree[v] > best_degree) {
+        best_degree = s.degree[v];
+        best = static_cast<VertexId>(v);
+      }
+    }
+    // Edge-count bound: k vertices of degree <= Δ cover <= kΔ edges.
+    if (s.num_edges >
+        static_cast<std::size_t>(s.k) * static_cast<std::size_t>(best_degree)) {
+      return false;
+    }
+
+    // Branch 1: best in the cover.
+    {
+      State child = s;
+      child.take_into_cover(best);
+      if (solve(std::move(child))) return true;
+    }
+    // Branch 2: N(best) in the cover (then best is not needed).
+    {
+      State child = std::move(s);
+      std::vector<VertexId> neighborhood;
+      child.adj[best].for_each([&](std::size_t u) {
+        neighborhood.push_back(static_cast<VertexId>(u));
+      });
+      for (VertexId u : neighborhood) child.take_into_cover(u);
+      child.alive.reset(best);  // isolated and excluded
+      if (solve(std::move(child))) return true;
+    }
+    return false;
+  }
+
+ private:
+  /// Unwinds fold records into a cover over original vertex ids.
+  void finish(const State& s) {
+    std::vector<bool> in_cover(s.universe, false);
+    for (VertexId v : s.chosen) in_cover[v] = true;
+    for (std::size_t i = s.folds.size(); i-- > 0;) {
+      const FoldRecord& fold = s.folds[i];
+      if (in_cover[fold.z]) {
+        in_cover[fold.z] = false;
+        in_cover[fold.v] = true;
+        in_cover[fold.w] = true;
+      } else {
+        in_cover[fold.u] = true;
+      }
+    }
+    result_.cover.clear();
+    for (std::size_t v = 0; v < s.universe; ++v) {
+      if (in_cover[v]) result_.cover.push_back(static_cast<VertexId>(v));
+    }
+    result_.feasible = true;
+  }
+
+  const VertexCoverOptions& options_;
+  VertexCoverResult& result_;
+};
+
+}  // namespace
+
+VertexCoverResult vertex_cover_decide(const graph::Graph& g, std::size_t k,
+                                      const VertexCoverOptions& options) {
+  VertexCoverResult result;
+  VcSearch search(options, result);
+  search.solve(make_state(g, k));
+  return result;
+}
+
+std::size_t matching_lower_bound(const graph::Graph& g) {
+  std::vector<bool> matched(g.order(), false);
+  std::size_t size = 0;
+  for (VertexId u = 0; u < g.order(); ++u) {
+    if (matched[u]) continue;
+    const auto& row = g.neighbors(u);
+    for (std::size_t v = row.find_first(); v < g.order();
+         v = row.find_next(v)) {
+      if (!matched[v] && v != u) {
+        matched[u] = matched[v] = true;
+        ++size;
+        break;
+      }
+    }
+  }
+  return size;
+}
+
+std::vector<VertexId> greedy_cover(const graph::Graph& g) {
+  std::vector<bool> matched(g.order(), false);
+  std::vector<VertexId> cover;
+  for (VertexId u = 0; u < g.order(); ++u) {
+    if (matched[u]) continue;
+    const auto& row = g.neighbors(u);
+    for (std::size_t v = row.find_first(); v < g.order();
+         v = row.find_next(v)) {
+      if (!matched[v] && v != u) {
+        matched[u] = matched[v] = true;
+        cover.push_back(u);
+        cover.push_back(static_cast<VertexId>(v));
+        break;
+      }
+    }
+  }
+  return cover;
+}
+
+MinVertexCoverResult minimum_vertex_cover(const graph::Graph& g,
+                                          const VertexCoverOptions& options) {
+  util::Timer timer;
+  MinVertexCoverResult result;
+  std::size_t lo = matching_lower_bound(g);
+  std::vector<VertexId> best = greedy_cover(g);
+  std::size_t hi = best.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    VertexCoverResult attempt = vertex_cover_decide(g, mid, options);
+    result.tree_nodes += attempt.tree_nodes;
+    if (attempt.feasible) {
+      best = std::move(attempt.cover);
+      hi = best.size();  // witness may undercut mid
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::sort(best.begin(), best.end());
+  result.cover = std::move(best);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace gsb::fpt

@@ -1,0 +1,68 @@
+#ifndef GSB_FPT_VERTEX_COVER_H
+#define GSB_FPT_VERTEX_COVER_H
+
+/// \file vertex_cover.h
+/// Fixed-parameter-tractable vertex cover (§2.1).
+///
+/// The paper's route to maximum clique: clique is W[1]-hard (not FPT unless
+/// the W hierarchy collapses), but its "complementary dual" vertex cover is
+/// FPT, solvable in O(c^k · k^{1.5} + kn) by kernelization plus a bounded
+/// search tree.  This module implements the standard kernel —
+///   * degree-0 removal,
+///   * degree-1 (pendant) resolution,
+///   * Buss's high-degree rule (deg(v) > k forces v into the cover),
+///   * degree-2 folding (struction) with solution reconstruction —
+/// interleaved with branching on a maximum-degree vertex
+/// (v in the cover, or N(v) in the cover), and an edge-counting bound
+/// (k vertices of max degree Δ cover at most kΔ edges).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gsb::fpt {
+
+using graph::VertexId;
+
+/// Solver knobs (the ablation bench toggles these).
+struct VertexCoverOptions {
+  bool use_kernelization = true;  ///< apply reduction rules at every node
+  bool use_folding = true;        ///< degree-2 folding (needs kernelization)
+  std::uint64_t max_nodes = 0;    ///< search-tree node budget; 0 = unlimited
+};
+
+/// Outcome of a decision query.
+struct VertexCoverResult {
+  bool feasible = false;          ///< a cover of size <= k exists
+  std::vector<VertexId> cover;    ///< witness cover (when feasible)
+  std::uint64_t tree_nodes = 0;   ///< branching nodes explored
+  std::uint64_t kernel_removals = 0;  ///< vertices resolved by reductions
+  bool aborted = false;           ///< node budget exhausted (result unknown)
+};
+
+/// Decides whether \p g has a vertex cover of size at most \p k and
+/// produces a witness when it does.
+VertexCoverResult vertex_cover_decide(const graph::Graph& g, std::size_t k,
+                                      const VertexCoverOptions& options = {});
+
+/// Size of a maximal matching (a lower bound: every cover hits each
+/// matching edge).
+std::size_t matching_lower_bound(const graph::Graph& g);
+
+/// Greedy 2-approximate cover (both endpoints of a maximal matching).
+std::vector<VertexId> greedy_cover(const graph::Graph& g);
+
+/// Minimum vertex cover via bounded search between the matching lower
+/// bound and the greedy upper bound.
+struct MinVertexCoverResult {
+  std::vector<VertexId> cover;
+  std::uint64_t tree_nodes = 0;
+  double seconds = 0.0;
+};
+MinVertexCoverResult minimum_vertex_cover(
+    const graph::Graph& g, const VertexCoverOptions& options = {});
+
+}  // namespace gsb::fpt
+
+#endif  // GSB_FPT_VERTEX_COVER_H

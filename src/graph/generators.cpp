@@ -1,0 +1,202 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsb::graph {
+
+Graph gnp(std::size_t n, double p, util::Rng& rng) {
+  Graph g(n);
+  if (p <= 0.0) return g;
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v);
+    }
+    return g;
+  }
+  // Geometric skipping (Batagelj–Brandes): expected O(n + m) work.
+  const double log_q = std::log(1.0 - p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = rng.uniform();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log(1.0 - r) / log_q));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) {
+      g.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+    }
+  }
+  return g;
+}
+
+Graph gnm(std::size_t n, std::size_t m, util::Rng& rng) {
+  Graph g(n);
+  const std::size_t max_edges = n < 2 ? 0 : n * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  while (g.num_edges() < m) {
+    const auto u = static_cast<VertexId>(rng.below(n));
+    const auto v = static_cast<VertexId>(rng.below(n));
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach, util::Rng& rng) {
+  attach = std::max<std::size_t>(1, attach);
+  const std::size_t seed_size = std::min(n, attach + 1);
+  Graph g(n);
+  // Repeated-endpoint list: preferential attachment by uniform sampling.
+  std::vector<VertexId> endpoints;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      g.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = static_cast<VertexId>(seed_size); v < n; ++v) {
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < attach && attempts < attach * 20 + 40) {
+      ++attempts;
+      const VertexId target = endpoints.empty()
+                                  ? static_cast<VertexId>(rng.below(v))
+                                  : endpoints[rng.below(endpoints.size())];
+      if (target == v || g.has_edge(v, target)) continue;
+      g.add_edge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+      ++added;
+    }
+  }
+  return g;
+}
+
+PlantedClique planted_clique(std::size_t n, std::size_t clique_size,
+                             double background_p, util::Rng& rng) {
+  PlantedClique result{gnp(n, background_p, rng),
+                       rng.sample_without_replacement(
+                           static_cast<std::uint32_t>(n),
+                           static_cast<std::uint32_t>(clique_size))};
+  for (std::size_t i = 0; i < result.members.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.members.size(); ++j) {
+      result.graph.add_edge(result.members[i], result.members[j]);
+    }
+  }
+  return result;
+}
+
+std::size_t sample_module_size(std::size_t lo, std::size_t hi, double power,
+                               util::Rng& rng) {
+  if (hi <= lo) return lo;
+  double total = 0.0;
+  for (std::size_t s = lo; s <= hi; ++s) {
+    total += std::pow(static_cast<double>(s), -power);
+  }
+  double pick = rng.uniform() * total;
+  for (std::size_t s = lo; s <= hi; ++s) {
+    pick -= std::pow(static_cast<double>(s), -power);
+    if (pick <= 0.0) return s;
+  }
+  return hi;
+}
+
+std::vector<VertexId> plant_module(Graph& g, std::size_t size, double p_in,
+                                   double overlap,
+                                   std::vector<VertexId>& used,
+                                   bits::DynamicBitset& used_mask,
+                                   util::Rng& rng) {
+  const std::size_t n = g.order();
+  std::vector<VertexId> members;
+  members.reserve(size);
+  bits::DynamicBitset chosen(n);
+  // A fraction of members is re-drawn from previously used vertices so
+  // modules overlap (shared regulators across co-expression modules);
+  // fresh members avoid used vertices so `overlap` is exact (fallback to
+  // any vertex when nearly all are used).
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = size * 50 + 200;
+  while (members.size() < std::min(size, n) && attempts < max_attempts) {
+    ++attempts;
+    VertexId v;
+    if (!used.empty() && rng.chance(overlap)) {
+      v = used[rng.below(used.size())];
+    } else {
+      v = static_cast<VertexId>(rng.below(n));
+      if (used_mask.test(v) && attempts * 2 < max_attempts) continue;
+    }
+    if (chosen.test(v)) continue;
+    chosen.set(v);
+    members.push_back(v);
+  }
+  std::sort(members.begin(), members.end());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (p_in >= 1.0 || rng.chance(p_in)) {
+        g.add_edge(members[i], members[j]);
+      }
+    }
+  }
+  for (VertexId v : members) {
+    if (!used_mask.test(v)) {
+      used_mask.set(v);
+      used.push_back(v);
+    }
+  }
+  return members;
+}
+
+ModuleGraph planted_modules(const ModuleGraphConfig& config, util::Rng& rng) {
+  ModuleGraph result{Graph(config.n), {}};
+  std::vector<VertexId> used;  // vertices already in some module
+  bits::DynamicBitset used_mask(config.n);
+
+  // The largest module is planted first at max_module_size so the ensemble's
+  // maximum clique size is deterministic when p_in == 1.
+  for (std::size_t mod = 0; mod < config.num_modules; ++mod) {
+    const std::size_t size =
+        mod == 0 ? config.max_module_size
+                 : sample_module_size(config.min_module_size,
+                                      config.max_module_size,
+                                      config.size_power, rng);
+    result.modules.push_back(plant_module(result.graph, size, config.p_in,
+                                          config.overlap, used, used_mask,
+                                          rng));
+  }
+
+  // Sparse uniform background.
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t limit = config.background_edges * 20 + 100;
+  while (added < config.background_edges && attempts < limit) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng.below(config.n));
+    const auto v = static_cast<VertexId>(rng.below(config.n));
+    if (u == v || result.graph.has_edge(u, v)) continue;
+    result.graph.add_edge(u, v);
+    ++added;
+  }
+  return result;
+}
+
+ModuleGraph planted_modules_with_edges(ModuleGraphConfig config,
+                                       std::size_t target_edges,
+                                       util::Rng& rng) {
+  config.background_edges = 0;
+  ModuleGraph result = planted_modules(config, rng);
+  std::size_t attempts = 0;
+  const std::size_t limit = target_edges * 40 + 1000;
+  while (result.graph.num_edges() < target_edges && attempts < limit) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng.below(config.n));
+    const auto v = static_cast<VertexId>(rng.below(config.n));
+    result.graph.add_edge(u, v);
+  }
+  return result;
+}
+
+}  // namespace gsb::graph

@@ -1,0 +1,91 @@
+#ifndef GSB_GRAPH_GENERATORS_H
+#define GSB_GRAPH_GENERATORS_H
+
+/// \file generators.h
+/// Synthetic graph ensembles.
+///
+/// The paper evaluates on gene co-expression graphs built from microarray
+/// data (see src/bio for that pipeline).  The generators here provide
+/// controlled analogs used by the tests and the benchmark harnesses:
+/// correlation graphs are characteristically *sparse globally but locally
+/// near-complete* — co-regulated gene modules appear as overlapping
+/// near-cliques on a faint random background — and `planted_modules`
+/// reproduces exactly that shape with a prescribed vertex count, edge
+/// density and maximum clique size.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace gsb::graph {
+
+/// Erdős–Rényi G(n, p): each pair independently with probability p.
+Graph gnp(std::size_t n, double p, util::Rng& rng);
+
+/// Erdős–Rényi G(n, m): exactly m distinct uniform edges.
+Graph gnm(std::size_t n, std::size_t m, util::Rng& rng);
+
+/// Barabási–Albert preferential attachment with \p attach edges per new
+/// vertex; produces the heavy-tailed degree sequences typical of biological
+/// interaction networks.
+Graph barabasi_albert(std::size_t n, std::size_t attach, util::Rng& rng);
+
+/// A single clique of size \p clique_size planted in G(n, background_p);
+/// returns the graph and the planted member set (sorted).
+struct PlantedClique {
+  Graph graph;
+  std::vector<VertexId> members;
+};
+PlantedClique planted_clique(std::size_t n, std::size_t clique_size,
+                             double background_p, util::Rng& rng);
+
+/// Configuration for the co-expression-like ensemble.
+struct ModuleGraphConfig {
+  std::size_t n = 1000;            ///< vertex count
+  std::size_t num_modules = 30;    ///< number of planted modules
+  std::size_t min_module_size = 4; ///< smallest module
+  std::size_t max_module_size = 20;///< largest module (≈ max clique size)
+  double size_power = 2.0;         ///< size ~ (1/s^power); larger → fewer big modules
+  double p_in = 1.0;               ///< intra-module edge probability
+  double overlap = 0.15;           ///< fraction of a module drawn from previously used vertices
+  std::size_t background_edges = 0;///< extra uniform random edges
+};
+
+/// A module-structured graph plus the planted module memberships.
+struct ModuleGraph {
+  Graph graph;
+  std::vector<std::vector<VertexId>> modules;
+};
+
+/// Generates overlapping near-clique modules on a sparse background.
+/// With p_in = 1 the largest planted module is a clique of that size; the
+/// background density is background_edges / (n choose 2).
+ModuleGraph planted_modules(const ModuleGraphConfig& config, util::Rng& rng);
+
+/// Samples a module size in [lo, hi] with P(s) proportional to s^-power.
+std::size_t sample_module_size(std::size_t lo, std::size_t hi, double power,
+                               util::Rng& rng);
+
+/// Draws one module's member set (with the overlap policy: each member is
+/// re-drawn from previously used vertices with probability \p overlap,
+/// otherwise from fresh ones) and plants its intra-module edges with
+/// probability \p p_in.  \p used / \p used_mask accumulate the vertices
+/// touched by earlier modules.  Returns the sorted member list.
+std::vector<VertexId> plant_module(Graph& g, std::size_t size, double p_in,
+                                   double overlap,
+                                   std::vector<VertexId>& used,
+                                   bits::DynamicBitset& used_mask,
+                                   util::Rng& rng);
+
+/// Convenience: a planted-module graph tuned to hit a target edge count by
+/// padding with background edges (or truncating background if modules alone
+/// exceed the budget, in which case the result may exceed the target).
+ModuleGraph planted_modules_with_edges(ModuleGraphConfig config,
+                                       std::size_t target_edges,
+                                       util::Rng& rng);
+
+}  // namespace gsb::graph
+
+#endif  // GSB_GRAPH_GENERATORS_H

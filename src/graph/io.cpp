@@ -1,0 +1,184 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gsb::graph {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("graph io: " + what);
+}
+
+std::ifstream open_in(const std::string& path, std::ios::openmode mode) {
+  std::ifstream in(path, mode);
+  if (!in) fail("cannot open '" + path + "' for reading");
+  return in;
+}
+
+std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
+  std::ofstream out(path, mode);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  return out;
+}
+
+}  // namespace
+
+Graph read_dimacs(std::istream& in) {
+  std::string line;
+  std::size_t n = 0;
+  bool have_problem = false;
+  Graph g;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'c') continue;
+    if (kind == 'p') {
+      std::string tag;
+      std::size_t m = 0;
+      ls >> tag >> n >> m;
+      if (!ls || (tag != "edge" && tag != "col")) fail("bad problem line");
+      g = Graph(n);
+      have_problem = true;
+      continue;
+    }
+    if (kind == 'e') {
+      if (!have_problem) fail("edge before problem line");
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      ls >> u >> v;
+      if (!ls || u < 1 || v < 1 || u > n || v > n) fail("bad edge line");
+      g.add_edge(static_cast<VertexId>(u - 1), static_cast<VertexId>(v - 1));
+      continue;
+    }
+    fail("unrecognized line kind '" + std::string(1, kind) + "'");
+  }
+  if (!have_problem) fail("missing problem line");
+  return g;
+}
+
+Graph read_dimacs_file(const std::string& path) {
+  auto in = open_in(path, std::ios::in);
+  return read_dimacs(in);
+}
+
+void write_dimacs(const Graph& g, std::ostream& out,
+                  const std::string& comment) {
+  if (!comment.empty()) out << "c " << comment << "\n";
+  out << "p edge " << g.order() << " " << g.num_edges() << "\n";
+  for (const auto& [u, v] : g.edge_list()) {
+    out << "e " << (u + 1) << " " << (v + 1) << "\n";
+  }
+}
+
+void write_dimacs_file(const Graph& g, const std::string& path,
+                       const std::string& comment) {
+  auto out = open_out(path, std::ios::out);
+  write_dimacs(g, out, comment);
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  bool have_n = false;
+  std::size_t n = 0;
+  Graph g;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    if (!have_n) {
+      if (ls >> n) {
+        g = Graph(n);
+        have_n = true;
+      }
+      continue;
+    }
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(ls >> u >> v)) continue;
+    if (u >= n || v >= n) fail("edge endpoint out of range");
+    g.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  if (!have_n) fail("missing vertex-count header");
+  return g;
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  auto in = open_in(path, std::ios::in);
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.order() << "\n";
+  for (const auto& [u, v] : g.edge_list()) out << u << " " << v << "\n";
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  auto out = open_out(path, std::ios::out);
+  write_edge_list(g, out);
+}
+
+namespace {
+constexpr char kMagic[4] = {'G', 'S', 'B', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T take(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) fail("truncated binary graph");
+  return value;
+}
+}  // namespace
+
+Graph read_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4)) {
+    fail("bad magic");
+  }
+  const auto version = take<std::uint32_t>(in);
+  if (version != kVersion) fail("unsupported version");
+  const auto n = take<std::uint64_t>(in);
+  const auto m = take<std::uint64_t>(in);
+  Graph g(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto u = take<std::uint32_t>(in);
+    const auto v = take<std::uint32_t>(in);
+    if (u >= n || v >= n) fail("edge endpoint out of range");
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph read_binary_file(const std::string& path) {
+  auto in = open_in(path, std::ios::binary);
+  return read_binary(in);
+}
+
+void write_binary(const Graph& g, std::ostream& out) {
+  out.write(kMagic, 4);
+  put<std::uint32_t>(out, kVersion);
+  put<std::uint64_t>(out, g.order());
+  put<std::uint64_t>(out, g.num_edges());
+  for (const auto& [u, v] : g.edge_list()) {
+    put<std::uint32_t>(out, u);
+    put<std::uint32_t>(out, v);
+  }
+}
+
+void write_binary_file(const Graph& g, const std::string& path) {
+  auto out = open_out(path, std::ios::binary);
+  write_binary(g, out);
+}
+
+}  // namespace gsb::graph

@@ -1,0 +1,47 @@
+#ifndef GSB_GRAPH_IO_H
+#define GSB_GRAPH_IO_H
+
+/// \file io.h
+/// Graph serialization: DIMACS .clq ASCII (the lingua franca of clique
+/// benchmarks), a plain edge-list text format, and a compact binary format
+/// for large instances.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gsb::graph {
+
+/// --- DIMACS (ASCII) -------------------------------------------------------
+/// Format:  `c` comment lines, one `p edge <n> <m>` line, `e <u> <v>` lines
+/// with 1-based vertex indices.
+
+/// Parses a DIMACS graph from a stream.  Throws std::runtime_error on
+/// malformed input.
+Graph read_dimacs(std::istream& in);
+Graph read_dimacs_file(const std::string& path);
+void write_dimacs(const Graph& g, std::ostream& out,
+                  const std::string& comment = {});
+void write_dimacs_file(const Graph& g, const std::string& path,
+                       const std::string& comment = {});
+
+/// --- edge list (ASCII) ------------------------------------------------------
+/// First non-comment line: `<n>`; every following line `u v` (0-based).
+/// `#` starts a comment.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+/// --- binary ------------------------------------------------------------------
+/// Magic "GSBG", u32 version, u64 n, u64 m, then m (u32,u32) edge pairs,
+/// little-endian.
+Graph read_binary(std::istream& in);
+Graph read_binary_file(const std::string& path);
+void write_binary(const Graph& g, std::ostream& out);
+void write_binary_file(const Graph& g, const std::string& path);
+
+}  // namespace gsb::graph
+
+#endif  // GSB_GRAPH_IO_H

@@ -1,0 +1,171 @@
+#include "netops/ops.h"
+
+#include <stdexcept>
+
+#include "bitset/dynamic_bitset.h"
+
+namespace gsb::netops {
+namespace {
+
+using bits::DynamicBitset;
+using graph::Graph;
+using graph::VertexId;
+
+std::size_t common_order(std::span<const Graph> graphs) {
+  if (graphs.empty()) {
+    throw std::invalid_argument("netops: empty graph list");
+  }
+  const std::size_t n = graphs.front().order();
+  for (const Graph& g : graphs) {
+    if (g.order() != n) {
+      throw std::invalid_argument("netops: vertex-count mismatch");
+    }
+  }
+  return n;
+}
+
+/// Builds a graph from per-row result bits (upper triangle only is read).
+Graph from_rows(std::size_t n, const std::vector<DynamicBitset>& rows) {
+  Graph out(n);
+  for (VertexId u = 0; u < n; ++u) {
+    rows[u].for_each([&](std::size_t v) {
+      if (v > u) out.add_edge(u, static_cast<VertexId>(v));
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph graph_intersection(std::span<const Graph> graphs) {
+  const std::size_t n = common_order(graphs);
+  std::vector<DynamicBitset> rows;
+  rows.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    DynamicBitset row = graphs.front().neighbors(v);
+    for (std::size_t g = 1; g < graphs.size(); ++g) {
+      row &= graphs[g].neighbors(v);
+    }
+    rows.push_back(std::move(row));
+  }
+  return from_rows(n, rows);
+}
+
+Graph graph_union(std::span<const Graph> graphs) {
+  const std::size_t n = common_order(graphs);
+  std::vector<DynamicBitset> rows;
+  rows.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    DynamicBitset row = graphs.front().neighbors(v);
+    for (std::size_t g = 1; g < graphs.size(); ++g) {
+      row |= graphs[g].neighbors(v);
+    }
+    rows.push_back(std::move(row));
+  }
+  return from_rows(n, rows);
+}
+
+Graph graph_difference(const Graph& a, const Graph& b) {
+  const std::size_t n = a.order();
+  if (b.order() != n) {
+    throw std::invalid_argument("netops: vertex-count mismatch");
+  }
+  Graph out(n);
+  for (VertexId u = 0; u < n; ++u) {
+    DynamicBitset row = a.neighbors(u);
+    row.and_not(b.neighbors(u));
+    row.for_each([&](std::size_t v) {
+      if (v > u) out.add_edge(u, static_cast<VertexId>(v));
+    });
+  }
+  return out;
+}
+
+Graph graph_symmetric_difference(const Graph& a, const Graph& b) {
+  const std::size_t n = a.order();
+  if (b.order() != n) {
+    throw std::invalid_argument("netops: vertex-count mismatch");
+  }
+  Graph out(n);
+  for (VertexId u = 0; u < n; ++u) {
+    DynamicBitset row = a.neighbors(u);
+    row ^= b.neighbors(u);
+    row.for_each([&](std::size_t v) {
+      if (v > u) out.add_edge(u, static_cast<VertexId>(v));
+    });
+  }
+  return out;
+}
+
+Graph at_least_k_of_n(std::span<const Graph> graphs, std::size_t k) {
+  const std::size_t n = common_order(graphs);
+  if (k == 0 || k > graphs.size()) {
+    throw std::invalid_argument("netops: k must be in [1, n_graphs]");
+  }
+  Graph out(n);
+  // Bit-sliced counting: counter_[b] holds bit b of the per-position count.
+  // Adding one input row is a ripple-carry over the slices — O(log n_graphs)
+  // word operations per word of adjacency.
+  const std::size_t slices = [&] {
+    std::size_t bits = 1;
+    while ((std::size_t{1} << bits) <= graphs.size()) ++bits;
+    return bits;
+  }();
+  std::vector<DynamicBitset> counter(slices, DynamicBitset(n));
+  DynamicBitset carry(n);
+  DynamicBitset next_carry(n);
+  DynamicBitset result(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (auto& slice : counter) slice.clear_all();
+    for (const Graph& g : graphs) {
+      carry = g.neighbors(u);
+      for (std::size_t b = 0; b < slices && carry.any(); ++b) {
+        // next_carry = counter[b] AND carry; counter[b] ^= carry.
+        next_carry.assign_and(counter[b], carry);
+        counter[b] ^= carry;
+        carry = next_carry;
+      }
+    }
+    // result = positions where counter >= k: compare bit-sliced counter
+    // against constant k, MSB first.
+    result.clear_all();
+    DynamicBitset equal(n);
+    equal.set_all();
+    for (std::size_t b = slices; b-- > 0;) {
+      const bool k_bit = (k >> b) & 1u;
+      if (!k_bit) {
+        // count bit 1 while k bit 0 and equal so far -> count > k.
+        next_carry.assign_and(equal, counter[b]);
+        result |= next_carry;
+      } else {
+        // count bit 0 while k bit 1 -> count < k on this branch: drop from
+        // `equal`; (no contribution to result).
+      }
+      // equal &= (counter[b] == k_bit)
+      if (k_bit) {
+        equal &= counter[b];
+      } else {
+        next_carry = counter[b];
+        next_carry.flip_all();
+        equal &= next_carry;
+      }
+    }
+    result |= equal;  // count == k
+    result.for_each([&](std::size_t v) {
+      if (v > u) out.add_edge(u, static_cast<VertexId>(v));
+    });
+  }
+  return out;
+}
+
+Graph graph_intersection(const Graph& a, const Graph& b) {
+  const Graph pair[] = {a, b};
+  return graph_intersection(std::span<const Graph>(pair, 2));
+}
+
+Graph graph_union(const Graph& a, const Graph& b) {
+  const Graph pair[] = {a, b};
+  return graph_union(std::span<const Graph>(pair, 2));
+}
+
+}  // namespace gsb::netops

@@ -1,0 +1,48 @@
+#ifndef GSB_NETOPS_OPS_H
+#define GSB_NETOPS_OPS_H
+
+/// \file ops.h
+/// Boolean graph algebra over a shared vertex set.
+///
+/// The paper's introduction prescribes these queries for cleaning noisy
+/// protein-interaction data: replicated experiments are recorded as
+/// undirected graphs, and "queries consisting of Boolean graph operations
+/// (e.g., graph intersection and at-least-k-of-n over multiple graphs) can
+/// be used to refine the data" before clique analysis.  All operations run
+/// word-parallel over the bitmap adjacency rows; at_least_k_of_n uses a
+/// bit-sliced counter so n graphs are combined in O(n log n) word ops per
+/// row instead of per-edge arithmetic.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gsb::netops {
+
+/// Edge-wise intersection: edge present iff present in every input.
+/// All graphs must share one vertex count (checked).
+graph::Graph graph_intersection(std::span<const graph::Graph> graphs);
+
+/// Edge-wise union.
+graph::Graph graph_union(std::span<const graph::Graph> graphs);
+
+/// Edges of \p a that are not in \p b.
+graph::Graph graph_difference(const graph::Graph& a, const graph::Graph& b);
+
+/// Edges in exactly one of \p a, \p b.
+graph::Graph graph_symmetric_difference(const graph::Graph& a,
+                                        const graph::Graph& b);
+
+/// Consensus filter: edge present iff it appears in at least \p k of the
+/// inputs.  k = 1 is union; k = n is intersection.
+graph::Graph at_least_k_of_n(std::span<const graph::Graph> graphs,
+                             std::size_t k);
+
+/// Two-graph convenience overloads.
+graph::Graph graph_intersection(const graph::Graph& a, const graph::Graph& b);
+graph::Graph graph_union(const graph::Graph& a, const graph::Graph& b);
+
+}  // namespace gsb::netops
+
+#endif  // GSB_NETOPS_OPS_H

@@ -1,0 +1,92 @@
+#include "util/cli.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace gsb::util {
+namespace {
+
+std::string env_name(const std::string& flag) {
+  std::string out = "GSB_";
+  for (char ch : flag) {
+    out.push_back(ch == '-' ? '_'
+                            : static_cast<char>(std::toupper(
+                                  static_cast<unsigned char>(ch))));
+  }
+  return out;
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--flag value` unless the next token is another flag (or absent), in
+    // which case it is treated as boolean true.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";
+    }
+  }
+}
+
+const std::string* Cli::lookup(const std::string& name) const {
+  queried_[name] = true;
+  if (auto it = values_.find(name); it != values_.end()) return &it->second;
+  static thread_local std::string env_value;
+  if (const char* env = std::getenv(env_name(name).c_str())) {
+    env_value = env;
+    return &env_value;
+  }
+  return nullptr;
+}
+
+bool Cli::has(const std::string& name) const {
+  return lookup(name) != nullptr;
+}
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  const std::string* v = lookup(name);
+  return v != nullptr ? *v : fallback;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const std::string* v = lookup(name);
+  if (v == nullptr) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const std::string* v = lookup(name);
+  if (v == nullptr) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const std::string* v = lookup(name);
+  if (v == nullptr) return fallback;
+  return !(*v == "0" || *v == "false" || *v == "no" || *v == "off");
+}
+
+std::vector<std::string> Cli::unqueried() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (!queried_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace gsb::util

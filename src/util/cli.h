@@ -1,0 +1,55 @@
+#ifndef GSB_UTIL_CLI_H
+#define GSB_UTIL_CLI_H
+
+/// \file cli.h
+/// A small declarative command-line parser for the bench and example
+/// binaries.  Flags take the form `--name value` or `--name=value`; boolean
+/// flags may omit the value.  Every flag can also be supplied through an
+/// environment variable `GSB_<NAME>` (upper-cased, dashes to underscores) so
+/// the whole bench suite can be rescaled with one export.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gsb::util {
+
+/// Parsed argument set with typed accessors and defaults.
+class Cli {
+ public:
+  /// Parses argv.  Unknown flags are collected and reported by unknown().
+  Cli(int argc, const char* const* argv);
+
+  /// True if the flag was given on the command line or via environment.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed accessors with defaults.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Flags that were passed but never queried — useful for catching typos in
+  /// scripts; benches print these as warnings.
+  [[nodiscard]] std::vector<std::string> unqueried() const;
+
+ private:
+  [[nodiscard]] const std::string* lookup(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace gsb::util
+
+#endif  // GSB_UTIL_CLI_H

@@ -1,0 +1,30 @@
+#ifndef GSB_UTIL_LOG_H
+#define GSB_UTIL_LOG_H
+
+/// \file log.h
+/// Minimal leveled logging.  Long-running enumerations report per-level
+/// progress (an explicitly desired feature of the paper's algorithm: the user
+/// can "track the algorithm's progress") through this interface.
+
+#include <string>
+
+namespace gsb::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.  Defaults to kWarn so
+/// library users see nothing unless they opt in (benches/examples raise it).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr with a level prefix when enabled.
+void log_message(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace gsb::util
+
+#endif  // GSB_UTIL_LOG_H

@@ -1,0 +1,28 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsb::util {
+
+double Rng::sqrt_impl(double x) noexcept { return std::sqrt(x); }
+double Rng::log_impl(double x) noexcept { return std::log(x); }
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  k = std::min(k, n);
+  std::vector<std::uint32_t> picked;
+  picked.reserve(k);
+  // Selection sampling (Knuth 3.4.2 algorithm S): one pass, emits sorted.
+  std::uint32_t remaining = k;
+  for (std::uint32_t i = 0; i < n && remaining > 0; ++i) {
+    const std::uint64_t pool = n - i;
+    if (below(pool) < remaining) {
+      picked.push_back(i);
+      --remaining;
+    }
+  }
+  return picked;
+}
+
+}  // namespace gsb::util

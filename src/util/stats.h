@@ -1,0 +1,51 @@
+#ifndef GSB_UTIL_STATS_H
+#define GSB_UTIL_STATS_H
+
+/// \file stats.h
+/// Streaming statistics (Welford) and small-sample summaries.  Figure 8 of
+/// the paper reports mean and standard deviation of per-processor run times;
+/// StatsAccumulator provides exactly those moments.
+
+#include <cstddef>
+#include <vector>
+
+namespace gsb::util {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class StatsAccumulator {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction-friendly).
+  void merge(const StatsAccumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Convenience: summary of a complete sample.
+StatsAccumulator summarize(const std::vector<double>& values) noexcept;
+
+/// Linear-interpolated quantile of a sample (q in [0,1]).  Sorts a copy.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace gsb::util
+
+#endif  // GSB_UTIL_STATS_H

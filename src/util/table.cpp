@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <cstdarg>
+#include <stdexcept>
+
+namespace gsb::util {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TableWriter: row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  std::size_t total = headers_.size() ? (headers_.size() - 1) * 2 : 0;
+  for (std::size_t w : widths) total += w;
+  std::string rule(total, '-');
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+bool TableWriter::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(f, "%s%s", c == 0 ? "" : ",", row[c].c_str());
+    }
+    std::fprintf(f, "\n");
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  std::fclose(f);
+  return true;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds < 1e-3) return format("%.0f us", seconds * 1e6);
+  if (seconds < 1.0) return format("%.2f ms", seconds * 1e3);
+  return format("%.3f s", seconds);
+}
+
+}  // namespace gsb::util

@@ -1,0 +1,52 @@
+#ifndef GSB_UTIL_TABLE_H
+#define GSB_UTIL_TABLE_H
+
+/// \file table.h
+/// Aligned console tables and CSV emission for the benchmark harnesses.
+/// Every bench binary prints the rows/series of the paper table or figure it
+/// regenerates; TableWriter keeps that output consistent and optionally
+/// mirrors it to a CSV file for plotting.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gsb::util {
+
+/// Column-aligned table that renders to stdout and/or a CSV file.
+///
+/// Usage:
+///   TableWriter t({"procs", "time_s", "speedup"});
+///   t.add_row({"8", "12.42", "6.9"});
+///   t.print();
+///   t.write_csv("fig5.csv");
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a fully formatted row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with padded columns to \p out (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Writes headers+rows as CSV.  Returns false if the file can't be opened.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats seconds adaptively ("438 us", "12.3 ms", "45.1 s").
+std::string format_seconds(double seconds);
+
+}  // namespace gsb::util
+
+#endif  // GSB_UTIL_TABLE_H

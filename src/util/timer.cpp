@@ -1,0 +1,14 @@
+#include "util/timer.h"
+
+#include <ctime>
+
+namespace gsb::util {
+
+double thread_cpu_seconds() noexcept {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace gsb::util

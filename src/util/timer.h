@@ -1,0 +1,60 @@
+#ifndef GSB_UTIL_TIMER_H
+#define GSB_UTIL_TIMER_H
+
+/// \file timer.h
+/// Wall-clock timing utilities used by the benchmark harnesses and by the
+/// load balancer's per-task cost measurements.
+
+#include <chrono>
+
+namespace gsb::util {
+
+/// Monotonic stopwatch.  Constructed running.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() noexcept : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+  /// Microseconds elapsed.
+  [[nodiscard]] double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// CPU time consumed by the calling thread, in seconds.  Unlike wall time,
+/// this is meaningful on oversubscribed machines: a thread descheduled by
+/// the OS accrues no CPU time, so per-thread load comparisons (Figure 8's
+/// metric) stay valid when benchmark thread counts exceed the core count.
+double thread_cpu_seconds() noexcept;
+
+/// Adds the elapsed lifetime of the guard to an accumulator on destruction.
+/// Used to attribute time to per-level / per-thread counters without
+/// scattering explicit timer arithmetic through the enumerator.
+class ScopedAccumTimer {
+ public:
+  explicit ScopedAccumTimer(double& sink) noexcept : sink_(sink) {}
+  ScopedAccumTimer(const ScopedAccumTimer&) = delete;
+  ScopedAccumTimer& operator=(const ScopedAccumTimer&) = delete;
+  ~ScopedAccumTimer() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace gsb::util
+
+#endif  // GSB_UTIL_TIMER_H

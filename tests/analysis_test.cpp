@@ -1,0 +1,146 @@
+// Tests for paraclique extraction, clique statistics and hub reporting.
+
+#include <gtest/gtest.h>
+
+#include "analysis/clique_stats.h"
+#include "analysis/hubs.h"
+#include "analysis/paraclique.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "tests/test_helpers.h"
+
+namespace gsb::analysis {
+namespace {
+
+using core::Clique;
+using graph::Graph;
+using graph::VertexId;
+
+Graph clique_with_satellite() {
+  // K5 on {0..4}; vertex 5 adjacent to 4 of them; vertex 6 to 2.
+  Graph g(7);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) g.add_edge(u, v);
+  }
+  for (VertexId v = 0; v < 4; ++v) g.add_edge(5, v);
+  g.add_edge(6, 0);
+  g.add_edge(6, 1);
+  return g;
+}
+
+TEST(Paraclique, GlomOneAbsorbsNearMember) {
+  const Graph g = clique_with_satellite();
+  const Clique seed{0, 1, 2, 3, 4};
+  ParacliqueOptions options;
+  options.glom = 1;
+  const auto para = grow_paraclique(g, seed, options);
+  EXPECT_EQ(para.members, (Clique{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(para.seed_size, 5u);
+  EXPECT_LT(para.density, 1.0);
+  EXPECT_GT(para.density, 0.9);
+}
+
+TEST(Paraclique, GlomZeroAddsOnlyFullNeighbors) {
+  const Graph g = clique_with_satellite();
+  const Clique seed{0, 1, 2, 3};  // vertices 4 and 5 both see all of these
+  ParacliqueOptions options;
+  options.glom = 0;
+  const auto para = grow_paraclique(g, seed, options);
+  // Scan order admits 4 first; afterwards 5 misses member 4, and with
+  // glom = 0 the result must stay a clique — so 5 stays out.
+  EXPECT_EQ(para.members, (Clique{0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(para.density, 1.0);
+}
+
+TEST(Paraclique, MaxRoundsLimitsGrowth) {
+  // Chain of near-members: each round admits one more vertex.
+  const Graph g = clique_with_satellite();
+  ParacliqueOptions options;
+  options.glom = 3;
+  options.max_rounds = 1;
+  const auto one_round = grow_paraclique(g, {0, 1, 2, 3, 4}, options);
+  options.max_rounds = 0;
+  const auto fixpoint = grow_paraclique(g, {0, 1, 2, 3, 4}, options);
+  EXPECT_LE(one_round.members.size(), fixpoint.members.size());
+}
+
+TEST(Paraclique, ExtractUsesMaximumClique) {
+  const Graph g = clique_with_satellite();
+  const auto para = extract_paraclique(g, ParacliqueOptions{1, 0});
+  EXPECT_EQ(para.seed_size, 5u);
+  EXPECT_EQ(para.members.size(), 6u);
+}
+
+TEST(Paraclique, ExtractAllFindsPlantedModules) {
+  util::Rng rng(13);
+  graph::ModuleGraphConfig config;
+  config.n = 120;
+  config.num_modules = 4;
+  config.min_module_size = 8;
+  config.max_module_size = 12;
+  config.overlap = 0.0;
+  config.background_edges = 30;
+  const auto mg = graph::planted_modules(config, rng);
+  const auto paras = extract_all_paracliques(mg.graph, 6, {1, 0});
+  EXPECT_GE(paras.size(), 3u);
+  EXPECT_GE(paras.front().members.size(), 12u);
+}
+
+TEST(CliqueStats, SpectrumAggregates) {
+  const std::vector<Clique> cliques{{0, 1}, {1, 2, 3}, {0, 2}, {4, 5, 6, 7}};
+  const auto spectrum = clique_spectrum(cliques);
+  EXPECT_EQ(spectrum.total, 4u);
+  EXPECT_EQ(spectrum.min_size, 2u);
+  EXPECT_EQ(spectrum.max_size, 4u);
+  EXPECT_DOUBLE_EQ(spectrum.mean_size, 11.0 / 4.0);
+  EXPECT_EQ(spectrum.size_histogram.at(2), 2u);
+}
+
+TEST(CliqueStats, EmptySpectrum) {
+  const auto spectrum = clique_spectrum({});
+  EXPECT_EQ(spectrum.total, 0u);
+  EXPECT_EQ(spectrum.max_size, 0u);
+}
+
+TEST(CliqueStats, Participation) {
+  const std::vector<Clique> cliques{{0, 1}, {1, 2}, {1, 3}};
+  const auto counts = vertex_participation(5, cliques);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[4], 0u);
+}
+
+TEST(CliqueStats, JaccardOverlap) {
+  EXPECT_DOUBLE_EQ(clique_overlap({0, 1, 2}, {1, 2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(clique_overlap({0, 1}, {2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(clique_overlap({0, 1}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(clique_overlap({}, {}), 0.0);
+}
+
+TEST(CliqueStats, MeanPairwiseOverlap) {
+  const std::vector<Clique> cliques{{0, 1, 2}, {1, 2, 3}, {4, 5}};
+  EXPECT_NEAR(mean_pairwise_overlap(cliques), 0.5 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_pairwise_overlap({{0, 1}}), 0.0);
+}
+
+TEST(Hubs, RanksByDegreeThenParticipation) {
+  const Graph g = clique_with_satellite();
+  core::CliqueCollector sink;
+  core::base_bk(g, sink.callback());
+  const auto hubs = top_hubs(g, sink.cliques(), 3);
+  ASSERT_EQ(hubs.size(), 3u);
+  // Vertices 0 and 1 have degree 6 (K5 + satellite 5 + satellite 6).
+  EXPECT_EQ(hubs[0].degree, 6u);
+  EXPECT_TRUE(hubs[0].vertex == 0 || hubs[0].vertex == 1);
+  EXPECT_GE(hubs[0].clique_participation, 1u);
+  const auto top = most_connected_vertex(g, sink.cliques());
+  EXPECT_EQ(top.vertex, hubs[0].vertex);
+}
+
+TEST(Hubs, EmptyGraphThrows) {
+  const Graph g(0);
+  EXPECT_THROW(most_connected_vertex(g, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gsb::analysis

@@ -1,0 +1,279 @@
+// Tests for the microarray substrate: synthesis, normalization, rank
+// correlation and thresholded graph construction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "bio/correlation.h"
+#include "bio/expression.h"
+#include "bio/generator.h"
+#include "bio/normalize.h"
+#include "bio/presets.h"
+#include "util/rng.h"
+
+namespace gsb::bio {
+namespace {
+
+TEST(Expression, BasicAccess) {
+  ExpressionMatrix m(3, 4);
+  EXPECT_EQ(m.genes(), 3u);
+  EXPECT_EQ(m.samples(), 4u);
+  m.at(1, 2) = 5.5;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.5);
+  EXPECT_DOUBLE_EQ(m.row(1)[2], 5.5);
+  EXPECT_EQ(m.name_of(0), "gene0");
+  m.set_names({"a", "b", "c"});
+  EXPECT_EQ(m.name_of(2), "c");
+}
+
+TEST(Midranks, HandlesTies) {
+  const std::vector<double> values{3.0, 1.0, 3.0, 2.0};
+  const auto ranks = midranks(values);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[3], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.5);
+}
+
+TEST(Correlation, PearsonKnownValues) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+  const std::vector<double> constant{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, constant), 0.0);
+}
+
+TEST(Correlation, SpearmanMonotoneInvariance) {
+  util::Rng rng(3);
+  std::vector<double> x(50);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = 0.8 * x[i] + 0.2 * rng.normal();
+  }
+  const double rho = spearman(x, y);
+  // Monotone transform of x leaves Spearman unchanged.
+  std::vector<double> ex(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) ex[i] = std::exp(x[i]);
+  EXPECT_NEAR(spearman(ex, y), rho, 1e-9);
+  // Pearson, by contrast, moves.
+  EXPECT_GT(std::fabs(pearson(ex, y) - pearson(x, y)), 1e-3);
+}
+
+TEST(Correlation, MatrixSymmetricUnitDiagonal) {
+  util::Rng rng(5);
+  MicroarrayConfig config;
+  config.genes = 30;
+  config.samples = 20;
+  config.modules = 3;
+  const auto data = generate_microarray(config, rng);
+  const auto matrix =
+      correlation_matrix(data.expression, CorrelationMethod::kSpearman);
+  ASSERT_EQ(matrix.size(), 30u);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    EXPECT_FLOAT_EQ(matrix.at(i, i), 1.0f);
+    for (std::size_t j = 0; j < matrix.size(); ++j) {
+      EXPECT_FLOAT_EQ(matrix.at(i, j), matrix.at(j, i));
+      EXPECT_LE(std::fabs(matrix.at(i, j)), 1.0f + 1e-5f);
+    }
+  }
+}
+
+TEST(Normalize, ZscoreRows) {
+  util::Rng rng(7);
+  ExpressionMatrix m(5, 30);
+  for (std::size_t g = 0; g < 5; ++g) {
+    for (std::size_t s = 0; s < 30; ++s) {
+      m.at(g, s) = rng.normal(10.0 * static_cast<double>(g), 3.0);
+    }
+  }
+  zscore_rows(m);
+  for (std::size_t g = 0; g < 5; ++g) {
+    const auto row = m.row(g);
+    const double mean =
+        std::accumulate(row.begin(), row.end(), 0.0) / 30.0;
+    double ss = 0;
+    for (double v : row) ss += (v - mean) * (v - mean);
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(std::sqrt(ss / 29.0), 1.0, 1e-9);
+  }
+}
+
+TEST(Normalize, ZscoreConstantRowBecomesZero) {
+  ExpressionMatrix m(1, 4);
+  for (std::size_t s = 0; s < 4; ++s) m.at(0, s) = 7.0;
+  zscore_rows(m);
+  for (double v : m.row(0)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Normalize, QuantileMakesSampleDistributionsEqual) {
+  util::Rng rng(9);
+  ExpressionMatrix m(40, 6);
+  for (std::size_t g = 0; g < 40; ++g) {
+    for (std::size_t s = 0; s < 6; ++s) {
+      m.at(g, s) = rng.normal(static_cast<double>(s), 1.0 + s);
+    }
+  }
+  quantile_normalize(m);
+  // After normalization every column has the same sorted values.
+  std::vector<double> reference;
+  for (std::size_t g = 0; g < 40; ++g) reference.push_back(m.at(g, 0));
+  std::sort(reference.begin(), reference.end());
+  for (std::size_t s = 1; s < 6; ++s) {
+    std::vector<double> column;
+    for (std::size_t g = 0; g < 40; ++g) column.push_back(m.at(g, s));
+    std::sort(column.begin(), column.end());
+    for (std::size_t g = 0; g < 40; ++g) {
+      EXPECT_NEAR(column[g], reference[g], 1e-9);
+    }
+  }
+}
+
+TEST(Normalize, Log2TransformPositive) {
+  ExpressionMatrix m(1, 3);
+  m.at(0, 0) = -5.0;
+  m.at(0, 1) = 0.0;
+  m.at(0, 2) = 3.0;
+  log2_transform(m);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_NEAR(m.at(0, 1), std::log2(6.0), 1e-12);
+  EXPECT_NEAR(m.at(0, 2), std::log2(9.0), 1e-12);
+}
+
+TEST(Generator, ShapesAndGroundTruth) {
+  util::Rng rng(11);
+  MicroarrayConfig config;
+  config.genes = 100;
+  config.samples = 25;
+  config.modules = 6;
+  config.min_module_size = 4;
+  config.max_module_size = 12;
+  const auto data = generate_microarray(config, rng);
+  EXPECT_EQ(data.expression.genes(), 100u);
+  EXPECT_EQ(data.expression.samples(), 25u);
+  ASSERT_EQ(data.modules.size(), 6u);
+  EXPECT_EQ(data.modules[0].size(), 12u);
+  for (const auto& module : data.modules) {
+    EXPECT_GE(module.size(), 4u);
+    EXPECT_LE(module.size(), 12u);
+  }
+  EXPECT_EQ(data.expression.name_of(3), "probe_3");
+}
+
+TEST(Generator, WithinModuleCorrelationIsHigh) {
+  util::Rng rng(13);
+  MicroarrayConfig config;
+  config.genes = 60;
+  config.samples = 60;
+  config.modules = 2;
+  config.min_module_size = 10;
+  config.max_module_size = 10;
+  config.overlap = 0.0;
+  config.within_module_corr = 0.9;
+  const auto data = generate_microarray(config, rng);
+  const auto& module = data.modules[0];
+  double total = 0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < module.size(); ++i) {
+    for (std::size_t j = i + 1; j < module.size(); ++j) {
+      total += pearson(data.expression.row(module[i]),
+                       data.expression.row(module[j]));
+      ++pairs;
+    }
+  }
+  EXPECT_GT(total / pairs, 0.7);
+}
+
+TEST(CorrelationGraph, RecoversModules) {
+  util::Rng rng(17);
+  MicroarrayConfig config;
+  config.genes = 120;
+  config.samples = 80;
+  config.modules = 3;
+  config.min_module_size = 8;
+  config.max_module_size = 8;
+  config.overlap = 0.0;
+  config.within_module_corr = 0.95;
+  const auto data = generate_microarray(config, rng);
+
+  CorrelationGraphOptions options;
+  options.method = CorrelationMethod::kSpearman;
+  options.threshold = 0.7;
+  const auto result = build_correlation_graph(data.expression, options, rng);
+  // Within-module edges should dominate: check module 0 forms a near-clique.
+  const auto& module = data.modules[0];
+  std::size_t present = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < module.size(); ++i) {
+    for (std::size_t j = i + 1; j < module.size(); ++j) {
+      ++pairs;
+      present += result.graph.has_edge(module[i], module[j]);
+    }
+  }
+  EXPECT_GE(present, pairs - 2);
+  // Background density stays tiny.
+  EXPECT_LT(result.graph.density(), 0.05);
+}
+
+TEST(CorrelationGraph, TargetEdgesApproximatelyHit) {
+  util::Rng rng(19);
+  MicroarrayConfig config;
+  config.genes = 150;
+  config.samples = 40;
+  config.modules = 8;
+  const auto data = generate_microarray(config, rng);
+  CorrelationGraphOptions options;
+  options.target_edges = 400;
+  options.quantile_samples = 20000;
+  const auto result = build_correlation_graph(data.expression, options, rng);
+  EXPECT_GT(result.threshold_used, 0.0);
+  EXPECT_GT(result.graph.num_edges(), 150u);
+  EXPECT_LT(result.graph.num_edges(), 1000u);
+}
+
+TEST(Presets, SpecsMatchPaperAtFullScale) {
+  const auto sparse = paper_spec(PaperDataset::kBrainSparse, 1.0);
+  EXPECT_EQ(sparse.vertices, 12422u);
+  EXPECT_EQ(sparse.edges, 6151u);
+  EXPECT_EQ(sparse.max_clique, 17u);
+  EXPECT_NEAR(sparse.edge_density, 0.00008, 0.00002);
+
+  const auto dense = paper_spec(PaperDataset::kBrainDense, 1.0);
+  EXPECT_EQ(dense.edges, 229297u);
+  EXPECT_EQ(dense.max_clique, 110u);
+
+  const auto myo = paper_spec(PaperDataset::kMyogenic, 1.0);
+  EXPECT_EQ(myo.vertices, 2895u);
+  EXPECT_EQ(myo.edges, 10914u);
+  EXPECT_EQ(myo.max_clique, 28u);
+  EXPECT_NEAR(myo.edge_density, 0.0026, 0.001);
+}
+
+TEST(Presets, ScalingPreservesCliqueAndShrinksCounts) {
+  const auto full = paper_spec(PaperDataset::kMyogenic, 1.0);
+  const auto half = paper_spec(PaperDataset::kMyogenic, 0.5);
+  EXPECT_EQ(half.max_clique, full.max_clique);
+  EXPECT_NEAR(static_cast<double>(half.vertices),
+              static_cast<double>(full.vertices) / 2.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(half.edges),
+              static_cast<double>(full.edges) / 2.0, 2.0);
+}
+
+TEST(Presets, GeneratedGraphMatchesSpec) {
+  util::Rng rng(23);
+  const double scale = 0.15;
+  const auto spec = paper_spec(PaperDataset::kMyogenic, scale);
+  const auto mg = make_paper_graph(PaperDataset::kMyogenic, scale, rng);
+  EXPECT_EQ(mg.graph.order(), spec.vertices);
+  EXPECT_NEAR(static_cast<double>(mg.graph.num_edges()),
+              static_cast<double>(spec.edges),
+              static_cast<double>(spec.edges) * 0.15);
+  EXPECT_EQ(mg.modules[0].size(), spec.max_clique);
+}
+
+}  // namespace
+}  // namespace gsb::bio

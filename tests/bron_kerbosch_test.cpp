@@ -1,0 +1,103 @@
+// Tests for the Base / Improved Bron–Kerbosch baselines (§2.2).
+
+#include <gtest/gtest.h>
+
+#include "core/bron_kerbosch.h"
+#include "core/verify.h"
+#include "tests/test_helpers.h"
+
+namespace gsb::core {
+namespace {
+
+TEST(BronKerbosch, TriangleWithPendant) {
+  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto expect = reference_maximal_cliques(g);
+  EXPECT_EQ(test::run_base_bk(g), expect);
+  EXPECT_EQ(test::run_improved_bk(g), expect);
+}
+
+TEST(BronKerbosch, EdgelessGraphEmitsSingletons) {
+  const graph::Graph g(4);
+  const auto cliques = test::run_base_bk(g);
+  ASSERT_EQ(cliques.size(), 4u);
+  for (const auto& clique : cliques) EXPECT_EQ(clique.size(), 1u);
+}
+
+TEST(BronKerbosch, EmptyGraph) {
+  const graph::Graph g(0);
+  EXPECT_TRUE(test::run_base_bk(g).empty());
+  EXPECT_TRUE(test::run_improved_bk(g).empty());
+}
+
+TEST(BronKerbosch, MoonMoserCount) {
+  graph::Graph g(12);
+  for (graph::VertexId u = 0; u < 12; ++u) {
+    for (graph::VertexId v = u + 1; v < 12; ++v) {
+      if (u / 3 != v / 3) g.add_edge(u, v);
+    }
+  }
+  CliqueCounter base_count;
+  base_bk(g, base_count.callback());
+  EXPECT_EQ(base_count.total(), 81u);  // 3^4
+  CliqueCounter improved_count;
+  improved_bk(g, improved_count.callback());
+  EXPECT_EQ(improved_count.total(), 81u);
+}
+
+TEST(BronKerbosch, ImprovedVisitsFewerNodesOnOverlappingCliques) {
+  util::Rng rng(5);
+  graph::ModuleGraphConfig config;
+  config.n = 120;
+  config.num_modules = 15;
+  config.max_module_size = 12;
+  config.overlap = 0.4;
+  const auto mg = graph::planted_modules(config, rng);
+  CliqueCounter a;
+  CliqueCounter b;
+  const auto base_stats = base_bk(mg.graph, a.callback());
+  const auto improved_stats = improved_bk(mg.graph, b.callback());
+  EXPECT_EQ(a.total(), b.total());
+  EXPECT_LT(improved_stats.tree_nodes, base_stats.tree_nodes);
+}
+
+TEST(BronKerbosch, SizeRangeFiltersEmissionOnly) {
+  const auto g = test::random_graph(30, 0.4, 7);
+  const auto all = test::run_base_bk(g);
+  const SizeRange range{3, 4};
+  const auto filtered = test::run_base_bk(g, range);
+  EXPECT_EQ(filtered, filter_by_size(all, range));
+  // Stats still count everything.
+  CliqueCollector sink;
+  const auto stats = base_bk(g, sink.callback(), range);
+  EXPECT_EQ(stats.maximal_cliques, all.size());
+}
+
+TEST(BronKerbosch, StatsTrackDepthAndNodes) {
+  util::Rng rng(2);
+  const auto g = graph::gnp(10, 1.0, rng);  // K10
+  CliqueCollector sink;
+  const auto stats = base_bk(g, sink.callback());
+  EXPECT_EQ(stats.maximal_cliques, 1u);
+  EXPECT_GE(stats.max_depth, 9u);
+  EXPECT_GT(stats.tree_nodes, 9u);
+}
+
+class BkEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, int>> {};
+
+TEST_P(BkEquivalenceTest, BothVariantsMatchReference) {
+  const auto [n, p, seed] = GetParam();
+  const auto g = test::random_graph(n, p, static_cast<std::uint64_t>(seed));
+  const auto expect = reference_maximal_cliques(g);
+  EXPECT_EQ(test::run_base_bk(g), expect);
+  EXPECT_EQ(test::run_improved_bk(g), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, BkEquivalenceTest,
+    ::testing::Combine(::testing::Values<std::size_t>(12, 25, 45),
+                       ::testing::Values(0.1, 0.3, 0.55),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace gsb::core

@@ -1,0 +1,203 @@
+// The core correctness suite: the paper's Clique Enumerator must produce
+// exactly the maximal cliques (within its size window) that the independent
+// references produce, in non-decreasing size order, while its level
+// statistics and memory accounting stay consistent.
+
+#include <gtest/gtest.h>
+
+#include "core/clique_enumerator.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "tests/test_helpers.h"
+
+namespace gsb::core {
+namespace {
+
+TEST(CliqueEnumerator, TriangleWithPendantFromK2) {
+  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  CliqueEnumeratorOptions options;
+  options.range = SizeRange{2, 0};
+  const auto got = test::run_clique_enumerator(g, options);
+  EXPECT_EQ(got, test::reference_in_range(g, options.range));
+}
+
+TEST(CliqueEnumerator, IsolatedVerticesRequireLowerBoundOne) {
+  graph::Graph g(5);
+  g.add_edge(0, 1);
+  // lo = 1: singletons {2},{3},{4} plus the edge {0,1}.
+  CliqueEnumeratorOptions lo1;
+  lo1.range = SizeRange{1, 0};
+  const auto all = test::run_clique_enumerator(g, lo1);
+  EXPECT_EQ(all, reference_maximal_cliques(g));
+  // lo = 2: only the edge.
+  CliqueEnumeratorOptions lo2;
+  lo2.range = SizeRange{2, 0};
+  const auto edges_only = test::run_clique_enumerator(g, lo2);
+  ASSERT_EQ(edges_only.size(), 1u);
+  EXPECT_EQ(edges_only[0], (Clique{0, 1}));
+}
+
+TEST(CliqueEnumerator, NonDecreasingEmissionOrder) {
+  const auto g = test::random_graph(40, 0.35, 5);
+  std::size_t last = 0;
+  CliqueEnumeratorOptions options;
+  options.range = SizeRange{2, 0};
+  enumerate_maximal_cliques(g,
+                            [&](std::span<const VertexId> clique) {
+                              EXPECT_GE(clique.size(), last);
+                              last = clique.size();
+                            },
+                            options);
+  EXPECT_GT(last, 0u);
+}
+
+TEST(CliqueEnumerator, UpperBoundStopsEnumeration) {
+  const auto g = test::random_graph(35, 0.45, 9);
+  const auto all = reference_maximal_cliques(g);
+  for (std::size_t hi = 2; hi <= 6; ++hi) {
+    CliqueEnumeratorOptions options;
+    options.range = SizeRange{2, hi};
+    const auto got = test::run_clique_enumerator(g, options);
+    EXPECT_EQ(got, filter_by_size(all, options.range)) << "hi=" << hi;
+  }
+}
+
+TEST(CliqueEnumerator, WindowEntirelyBelowSeedIsEmptyButSafe) {
+  const auto g = test::random_graph(20, 0.3, 13);
+  CliqueEnumeratorOptions options;
+  options.range = SizeRange{1, 1};
+  const auto got = test::run_clique_enumerator(g, options);
+  // Only isolated vertices qualify; this instance has none.
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(CliqueEnumerator, KcoreOnOffEquivalent) {
+  const auto g = test::random_graph(50, 0.25, 21);
+  CliqueEnumeratorOptions with_core;
+  with_core.range = SizeRange{3, 0};
+  with_core.use_kcore = true;
+  CliqueEnumeratorOptions without_core = with_core;
+  without_core.use_kcore = false;
+  EXPECT_EQ(test::run_clique_enumerator(g, with_core),
+            test::run_clique_enumerator(g, without_core));
+}
+
+TEST(CliqueEnumerator, ModuleGraphWithHigherInitK) {
+  util::Rng rng(31);
+  graph::ModuleGraphConfig config;
+  config.n = 150;
+  config.num_modules = 12;
+  config.max_module_size = 14;
+  config.overlap = 0.35;
+  config.background_edges = 120;
+  const auto mg = graph::planted_modules(config, rng);
+  const auto all = test::run_base_bk(mg.graph);
+  for (std::size_t lo : {3u, 6u, 9u}) {
+    CliqueEnumeratorOptions options;
+    options.range = SizeRange{lo, 0};
+    const auto got = test::run_clique_enumerator(mg.graph, options);
+    EXPECT_EQ(got, filter_by_size(all, options.range)) << "lo=" << lo;
+  }
+}
+
+void stats_consistency_check(const EnumerationStats& stats) {
+  std::uint64_t emitted_in_levels = 0;
+  for (const auto& level : stats.levels) {
+    emitted_in_levels += level.maximal_emitted;
+  }
+  EXPECT_LE(emitted_in_levels, stats.total_maximal);
+  EXPECT_GE(stats.peak_bytes_formula, 1u);
+}
+
+TEST(CliqueEnumerator, StatsAreConsistent) {
+  const auto g = test::random_graph(45, 0.35, 3);
+  CliqueCollector sink;
+  CliqueEnumeratorOptions options;
+  options.range = SizeRange{3, 0};
+  const auto stats = enumerate_maximal_cliques(g, sink.callback(), options);
+  EXPECT_EQ(stats.total_maximal, sink.cliques().size());
+  EXPECT_GT(stats.total_seconds, 0.0);
+  std::size_t expect_k = 3;
+  for (const auto& level : stats.levels) {
+    EXPECT_EQ(level.k, expect_k++);
+    EXPECT_GT(level.sublists, 0u);
+    EXPECT_GE(level.candidates, 2 * level.sublists);  // >=2 tails per sub-list
+    EXPECT_GT(level.bytes_formula, 0u);
+    EXPECT_GT(level.bytes_actual, 0u);
+    EXPECT_GE(level.pairs_checked, level.edges_present);
+  }
+  stats_consistency_check(stats);
+}
+
+TEST(CliqueEnumerator, MemoryAccountingBalances) {
+  util::MemoryTracker tracker;
+  const auto g = test::random_graph(40, 0.4, 27);
+  CliqueCollector sink;
+  CliqueEnumeratorOptions options;
+  options.range = SizeRange{3, 0};
+  options.tracker = &tracker;
+  enumerate_maximal_cliques(g, sink.callback(), options);
+  EXPECT_EQ(tracker.current(util::MemTag::kCliqueStorage), 0u)
+      << "all sub-lists must be released";
+  EXPECT_GT(tracker.peak(), 0u);
+}
+
+TEST(CliqueEnumerator, MemoryAccountingBalancesWithUpperBound) {
+  util::MemoryTracker tracker;
+  const auto g = test::random_graph(40, 0.45, 29);
+  CliqueCollector sink;
+  CliqueEnumeratorOptions options;
+  options.range = SizeRange{3, 4};  // leaves live candidates at the cutoff
+  options.tracker = &tracker;
+  enumerate_maximal_cliques(g, sink.callback(), options);
+  EXPECT_EQ(tracker.current(util::MemTag::kCliqueStorage), 0u);
+}
+
+TEST(CliqueEnumerator, TraceRecordsTaskCosts) {
+  const auto g = test::random_graph(40, 0.4, 33);
+  CliqueCollector sink;
+  CliqueEnumeratorOptions options;
+  options.range = SizeRange{3, 0};
+  options.record_trace = true;
+  const auto stats = enumerate_maximal_cliques(g, sink.callback(), options);
+  ASSERT_EQ(stats.traces.size(), stats.levels.size());
+  for (std::size_t i = 0; i < stats.traces.size(); ++i) {
+    EXPECT_EQ(stats.traces[i].task_work.size(), stats.levels[i].sublists);
+    EXPECT_EQ(stats.traces[i].task_seconds.size(), stats.levels[i].sublists);
+  }
+  EXPECT_FALSE(stats.seed_trace.task_seconds.empty());
+}
+
+TEST(CliqueEnumerator, ProgressCallbackFiresPerLevel) {
+  const auto g = test::random_graph(30, 0.5, 37);
+  CliqueCollector sink;
+  CliqueEnumeratorOptions options;
+  options.range = SizeRange{3, 0};
+  std::size_t callbacks = 0;
+  options.progress = [&](const LevelStats&) { ++callbacks; };
+  const auto stats = enumerate_maximal_cliques(g, sink.callback(), options);
+  EXPECT_EQ(callbacks, stats.levels.size());
+}
+
+class EnumeratorSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, double, std::size_t, int>> {};
+
+TEST_P(EnumeratorSweepTest, MatchesReferenceInWindow) {
+  const auto [n, p, lo, seed] = GetParam();
+  const auto g = test::random_graph(n, p, static_cast<std::uint64_t>(seed));
+  CliqueEnumeratorOptions options;
+  options.range = SizeRange{lo, 0};
+  const auto got = test::run_clique_enumerator(g, options);
+  EXPECT_EQ(got, test::reference_in_range(g, options.range));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, EnumeratorSweepTest,
+    ::testing::Combine(::testing::Values<std::size_t>(12, 24, 40, 60),
+                       ::testing::Values(0.15, 0.3, 0.5),
+                       ::testing::Values<std::size_t>(2, 3, 4),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace gsb::core

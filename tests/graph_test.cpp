@@ -1,0 +1,322 @@
+// Tests for the graph substrate: structure, I/O round-trips, generators
+// and transformations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/transforms.h"
+#include "util/rng.h"
+
+namespace gsb::graph {
+namespace {
+
+Graph triangle_plus_pendant() {
+  // 0-1-2 triangle, 3 pendant on 2, 4 isolated.
+  return Graph::from_edges(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+}
+
+TEST(Graph, BasicStructure) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_EQ(g.order(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.density(), 4.0 / 10.0);
+}
+
+TEST(Graph, IgnoresSelfLoopsAndDuplicates) {
+  Graph g(3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g = triangle_plus_pendant();
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 3u);
+  g.remove_edge(0, 1);  // no-op
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Graph, EdgeListCanonical) {
+  const Graph g = triangle_plus_pendant();
+  const auto edges = g.edge_list();
+  const std::vector<std::pair<VertexId, VertexId>> expect{
+      {0, 1}, {0, 2}, {1, 2}, {2, 3}};
+  EXPECT_EQ(edges, expect);
+}
+
+TEST(Graph, NeighborList) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_EQ(g.neighbor_list(2), (std::vector<VertexId>{0, 1, 3}));
+  EXPECT_TRUE(g.neighbor_list(4).empty());
+}
+
+TEST(Graph, Equality) {
+  EXPECT_TRUE(triangle_plus_pendant() == triangle_plus_pendant());
+  Graph other = triangle_plus_pendant();
+  other.add_edge(3, 4);
+  EXPECT_FALSE(triangle_plus_pendant() == other);
+}
+
+TEST(GraphIo, DimacsRoundtrip) {
+  const Graph g = triangle_plus_pendant();
+  std::stringstream stream;
+  write_dimacs(g, stream, "test graph");
+  const Graph back = read_dimacs(stream);
+  EXPECT_TRUE(g == back);
+}
+
+TEST(GraphIo, DimacsRejectsMalformed) {
+  std::stringstream missing_p("e 1 2\n");
+  EXPECT_THROW(read_dimacs(missing_p), std::runtime_error);
+  std::stringstream bad_edge("p edge 3 1\ne 1 9\n");
+  EXPECT_THROW(read_dimacs(bad_edge), std::runtime_error);
+  std::stringstream bad_kind("p edge 2 0\nq 1 2\n");
+  EXPECT_THROW(read_dimacs(bad_kind), std::runtime_error);
+}
+
+TEST(GraphIo, EdgeListRoundtrip) {
+  const Graph g = triangle_plus_pendant();
+  std::stringstream stream;
+  write_edge_list(g, stream);
+  const Graph back = read_edge_list(stream);
+  EXPECT_TRUE(g == back);
+}
+
+TEST(GraphIo, EdgeListComments) {
+  std::stringstream stream("# header\n4\n0 1 # trailing\n# mid\n2 3\n");
+  const Graph g = read_edge_list(stream);
+  EXPECT_EQ(g.order(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(GraphIo, BinaryRoundtrip) {
+  util::Rng rng(3);
+  const Graph g = gnp(60, 0.2, rng);
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, stream);
+  const Graph back = read_binary(stream);
+  EXPECT_TRUE(g == back);
+}
+
+TEST(GraphIo, BinaryRejectsBadMagic) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  stream << "NOPE";
+  EXPECT_THROW(read_binary(stream), std::runtime_error);
+}
+
+TEST(Generators, GnpEdgeCases) {
+  util::Rng rng(1);
+  EXPECT_EQ(gnp(50, 0.0, rng).num_edges(), 0u);
+  const Graph full = gnp(20, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 190u);
+}
+
+TEST(Generators, GnpDensityNearP) {
+  util::Rng rng(11);
+  const Graph g = gnp(400, 0.1, rng);
+  EXPECT_NEAR(g.density(), 0.1, 0.02);
+}
+
+TEST(Generators, GnmExactEdges) {
+  util::Rng rng(5);
+  const Graph g = gnm(100, 321, rng);
+  EXPECT_EQ(g.num_edges(), 321u);
+  EXPECT_EQ(gnm(10, 1000, rng).num_edges(), 45u);  // clamped to max
+}
+
+TEST(Generators, BarabasiAlbertConnectedHeavyTail) {
+  util::Rng rng(9);
+  const Graph g = barabasi_albert(300, 2, rng);
+  EXPECT_GE(g.num_edges(), 2u * (300 - 3));
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 1u);
+  EXPECT_GT(g.max_degree(), 10u);  // hubs emerge
+}
+
+TEST(Generators, PlantedCliqueIsClique) {
+  util::Rng rng(21);
+  const auto planted = planted_clique(200, 12, 0.05, rng);
+  ASSERT_EQ(planted.members.size(), 12u);
+  for (std::size_t i = 0; i < planted.members.size(); ++i) {
+    for (std::size_t j = i + 1; j < planted.members.size(); ++j) {
+      EXPECT_TRUE(planted.graph.has_edge(planted.members[i],
+                                         planted.members[j]));
+    }
+  }
+}
+
+TEST(Generators, PlantedModulesStructure) {
+  util::Rng rng(33);
+  ModuleGraphConfig config;
+  config.n = 300;
+  config.num_modules = 12;
+  config.min_module_size = 4;
+  config.max_module_size = 15;
+  config.p_in = 1.0;
+  config.background_edges = 50;
+  const ModuleGraph result = planted_modules(config, rng);
+  ASSERT_EQ(result.modules.size(), 12u);
+  EXPECT_EQ(result.modules[0].size(), 15u);  // first forced to max
+  for (const auto& module : result.modules) {
+    for (std::size_t i = 0; i < module.size(); ++i) {
+      for (std::size_t j = i + 1; j < module.size(); ++j) {
+        EXPECT_TRUE(result.graph.has_edge(module[i], module[j]));
+      }
+    }
+  }
+}
+
+TEST(Generators, PlantedModulesEdgeTarget) {
+  util::Rng rng(41);
+  ModuleGraphConfig config;
+  config.n = 500;
+  config.num_modules = 10;
+  config.max_module_size = 10;
+  const ModuleGraph result = planted_modules_with_edges(config, 2000, rng);
+  EXPECT_GE(result.graph.num_edges(), 1900u);
+  EXPECT_LE(result.graph.num_edges(), 2100u);
+}
+
+TEST(Transforms, ComplementInvolution) {
+  util::Rng rng(7);
+  const Graph g = gnp(40, 0.3, rng);
+  const Graph comp = complement(g);
+  EXPECT_EQ(g.num_edges() + comp.num_edges(), 40u * 39u / 2u);
+  EXPECT_TRUE(complement(comp) == g);
+}
+
+TEST(Transforms, InducedSubgraph) {
+  const Graph g = triangle_plus_pendant();
+  const auto sub = induced_subgraph(g, {2, 0, 1, 2});
+  EXPECT_EQ(sub.graph.order(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);  // the triangle
+  EXPECT_EQ(sub.mapping, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(Transforms, KcoreMaskIteratedPeeling) {
+  // Path 0-1-2-3 plus triangle 4-5-6: the 2-core is exactly the triangle.
+  const Graph g = Graph::from_edges(
+      7, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {4, 6}});
+  const auto mask = kcore_mask(g, 2);
+  EXPECT_FALSE(mask.test(0));
+  EXPECT_FALSE(mask.test(1));  // iterated: falls after 0 leaves
+  EXPECT_FALSE(mask.test(2));
+  EXPECT_FALSE(mask.test(3));
+  EXPECT_TRUE(mask.test(4));
+  EXPECT_TRUE(mask.test(5));
+  EXPECT_TRUE(mask.test(6));
+  const auto sub = kcore_subgraph(g, 2);
+  EXPECT_EQ(sub.graph.order(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+}
+
+TEST(Transforms, KcoreZeroKeepsAll) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_EQ(kcore_mask(g, 0).count(), 5u);
+}
+
+TEST(Transforms, DegeneracyOfCompleteAndTree) {
+  util::Rng rng(3);
+  const Graph complete = gnp(12, 1.0, rng);
+  EXPECT_EQ(degeneracy_order(complete).degeneracy, 11u);
+  // A path has degeneracy 1.
+  Graph path(10);
+  for (VertexId v = 0; v + 1 < 10; ++v) path.add_edge(v, v + 1);
+  const auto result = degeneracy_order(path);
+  EXPECT_EQ(result.degeneracy, 1u);
+  EXPECT_EQ(result.order.size(), 10u);
+}
+
+TEST(Transforms, ConnectedComponents) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count, 3u);
+  EXPECT_EQ(comps.component[0], comps.component[1]);
+  EXPECT_EQ(comps.component[1], comps.component[2]);
+  EXPECT_EQ(comps.component[3], comps.component[4]);
+  EXPECT_NE(comps.component[0], comps.component[3]);
+  EXPECT_NE(comps.component[3], comps.component[5]);
+}
+
+TEST(Transforms, RelabelPreservesStructure) {
+  const Graph g = triangle_plus_pendant();
+  const std::vector<VertexId> perm{4, 3, 2, 1, 0};  // reverse
+  const Graph relabeled = relabel(g, perm);
+  EXPECT_EQ(relabeled.num_edges(), g.num_edges());
+  // new vertex i is old perm[i]: old edge (0,1) -> new (4,3).
+  EXPECT_TRUE(relabeled.has_edge(4, 3));
+  EXPECT_TRUE(relabeled.has_edge(2, 1));  // old (2,3)
+}
+
+TEST(Transforms, RelabelRejectsNonPermutation) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_THROW(relabel(g, {0, 0, 1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(relabel(g, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gsb::graph
+
+namespace gsb::graph {
+namespace {
+
+TEST(GraphIo, BinaryRejectsTruncated) {
+  util::Rng rng(5);
+  const Graph g = gnp(20, 0.3, rng);
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, stream);
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() / 2);  // cut mid-edge-list
+  std::stringstream cut(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_binary(cut), std::runtime_error);
+}
+
+TEST(GraphIo, EdgeListRejectsOutOfRange) {
+  std::stringstream stream("3\n0 7\n");
+  EXPECT_THROW(read_edge_list(stream), std::runtime_error);
+}
+
+TEST(Generators, PlantModuleRespectsOverlapZero) {
+  util::Rng rng(9);
+  Graph g(200);
+  std::vector<VertexId> used;
+  bits::DynamicBitset used_mask(200);
+  const auto first = plant_module(g, 20, 1.0, 0.0, used, used_mask, rng);
+  const auto second = plant_module(g, 20, 1.0, 0.0, used, used_mask, rng);
+  // With overlap 0 and plenty of fresh vertices, modules are disjoint.
+  std::vector<VertexId> inter;
+  std::set_intersection(first.begin(), first.end(), second.begin(),
+                        second.end(), std::back_inserter(inter));
+  EXPECT_TRUE(inter.empty());
+}
+
+TEST(Generators, SampleModuleSizeStaysInBounds) {
+  util::Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = sample_module_size(4, 12, 1.7, rng);
+    EXPECT_GE(s, 4u);
+    EXPECT_LE(s, 12u);
+  }
+  EXPECT_EQ(sample_module_size(5, 5, 2.0, rng), 5u);
+  EXPECT_EQ(sample_module_size(7, 3, 2.0, rng), 7u);  // hi <= lo -> lo
+}
+
+}  // namespace
+}  // namespace gsb::graph

@@ -1,0 +1,186 @@
+// Cross-module integration: the full paper pipeline from synthetic
+// microarray to enumerated cliques, agreement between every maximal-clique
+// algorithm on shared workloads, and preset-driven end-to-end runs.
+
+#include <gtest/gtest.h>
+
+#include "analysis/clique_stats.h"
+#include "analysis/hubs.h"
+#include "analysis/paraclique.h"
+#include "bio/correlation.h"
+#include "bio/generator.h"
+#include "bio/normalize.h"
+#include "bio/presets.h"
+#include "core/maximum_clique.h"
+#include "core/verify.h"
+#include "fpt/max_clique_vc.h"
+#include "netops/ops.h"
+#include "tests/test_helpers.h"
+
+namespace gsb {
+namespace {
+
+TEST(Integration, MicroarrayToCliquePipeline) {
+  util::Rng rng(101);
+  bio::MicroarrayConfig config;
+  config.genes = 140;
+  config.samples = 60;
+  config.modules = 5;
+  config.min_module_size = 6;
+  config.max_module_size = 10;
+  config.overlap = 0.1;
+  config.within_module_corr = 0.93;
+  auto data = bio::generate_microarray(config, rng);
+
+  bio::quantile_normalize(data.expression);
+  bio::CorrelationGraphOptions graph_options;
+  graph_options.method = bio::CorrelationMethod::kSpearman;
+  graph_options.threshold = 0.72;
+  const auto built =
+      bio::build_correlation_graph(data.expression, graph_options, rng);
+  const auto& g = built.graph;
+  ASSERT_GT(g.num_edges(), 50u);
+
+  // Maximum clique: B&B agrees with the enumerator's largest output.
+  const auto omega = core::maximum_clique(g).clique.size();
+  core::CliqueEnumeratorOptions options;
+  options.range = core::SizeRange{3, 0};
+  const auto cliques = test::run_clique_enumerator(g, options);
+  ASSERT_FALSE(cliques.empty());
+  std::size_t largest = 0;
+  for (const auto& clique : cliques) {
+    largest = std::max(largest, clique.size());
+    EXPECT_TRUE(core::is_maximal_clique(g, clique));
+  }
+  EXPECT_EQ(largest, omega);
+  EXPECT_GE(omega, 6u);  // at least one planted module survives thresholding
+
+  // All algorithms agree on this real pipeline output.
+  EXPECT_EQ(cliques, test::reference_in_range(g, options.range));
+  core::ParallelOptions par_options;
+  par_options.range = options.range;
+  par_options.threads = 2;
+  EXPECT_EQ(test::run_parallel_enumerator(g, par_options), cliques);
+}
+
+TEST(Integration, AllAlgorithmsAgreeOnMyogenicAnalog) {
+  // A shrunken myogenic-shaped workload: overlapping clique modules on a
+  // sparse background.  The module size is capped at 10 here because the
+  // Kose baseline materializes *every* clique of every size — a planted
+  // 28-clique alone would cost it 2^28 stored cliques (that blow-up is
+  // measured, deliberately, in bench_table1, not in unit tests).
+  util::Rng rng(7);
+  graph::ModuleGraphConfig config;
+  config.n = 145;
+  config.num_modules = 10;
+  config.min_module_size = 4;
+  config.max_module_size = 10;
+  config.overlap = 0.3;
+  config.background_edges = 100;
+  const auto mg = graph::planted_modules(config, rng);
+  const auto& g = mg.graph;
+
+  core::SizeRange range{3, 0};
+  const auto bk = test::run_base_bk(g, range);
+  EXPECT_EQ(test::run_improved_bk(g, range), bk);
+
+  core::CliqueEnumeratorOptions ce;
+  ce.range = range;
+  EXPECT_EQ(test::run_clique_enumerator(g, ce), bk);
+
+  core::ParallelOptions par;
+  par.range = range;
+  par.threads = 4;
+  EXPECT_EQ(test::run_parallel_enumerator(g, par), bk);
+
+  core::KoseOptions kose;
+  kose.range = range;
+  EXPECT_EQ(test::run_kose(g, kose), bk);
+}
+
+TEST(Integration, MaxCliqueRoutesAgreeOnCompatibilityGraph) {
+  // Phylogeny-style dense compatibility graph.
+  util::Rng rng(55);
+  const auto g = graph::gnp(45, 0.85, rng);
+  const auto bnb = core::maximum_clique(g);
+  const auto vc = fpt::maximum_clique_via_vertex_cover(g);
+  EXPECT_EQ(bnb.clique.size(), vc.clique.size());
+  EXPECT_TRUE(core::is_clique(g, vc.clique));
+  EXPECT_TRUE(fpt::has_clique_of_size(g, bnb.clique.size()));
+  EXPECT_FALSE(fpt::has_clique_of_size(g, bnb.clique.size() + 1));
+}
+
+TEST(Integration, ConsensusThenCliquesOnPpiReplicates) {
+  util::Rng rng(77);
+  // Three noisy observations of a protein-complex graph.
+  graph::ModuleGraphConfig config;
+  config.n = 100;
+  config.num_modules = 5;
+  config.min_module_size = 6;
+  config.max_module_size = 9;
+  config.overlap = 0.0;
+  const auto truth = graph::planted_modules(config, rng);
+  std::vector<graph::Graph> replicates;
+  for (int r = 0; r < 3; ++r) {
+    graph::Graph rep = truth.graph;
+    const auto noise = graph::gnp(100, 0.02, rng);
+    for (const auto& [u, v] : noise.edge_list()) rep.add_edge(u, v);
+    replicates.push_back(std::move(rep));
+  }
+  const auto cleaned = netops::at_least_k_of_n(replicates, 2);
+
+  core::CliqueEnumeratorOptions options;
+  options.range = core::SizeRange{5, 0};
+  const auto cliques = test::run_clique_enumerator(cleaned, options);
+  // Every planted complex of size >= 5 appears within some maximal clique.
+  for (const auto& module : truth.modules) {
+    if (module.size() < 5) continue;
+    bool found = false;
+    for (const auto& clique : cliques) {
+      if (std::includes(clique.begin(), clique.end(), module.begin(),
+                        module.end())) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "module of size " << module.size() << " lost";
+  }
+}
+
+TEST(Integration, ParacliqueAndHubsOnEnumeratedOutput) {
+  util::Rng rng(91);
+  const auto mg = bio::make_paper_graph(bio::PaperDataset::kBrainSparse,
+                                        0.03, rng);
+  core::CliqueEnumeratorOptions options;
+  options.range = core::SizeRange{3, 0};
+  core::CliqueCollector sink;
+  core::enumerate_maximal_cliques(mg.graph, sink.callback(), options);
+  const auto spectrum = analysis::clique_spectrum(sink.cliques());
+  EXPECT_GT(spectrum.total, 0u);
+  EXPECT_GE(spectrum.max_size, 3u);
+
+  const auto hub = analysis::most_connected_vertex(mg.graph, sink.cliques());
+  EXPECT_EQ(mg.graph.degree(hub.vertex), mg.graph.max_degree());
+
+  const auto para = analysis::extract_paraclique(mg.graph, {1, 0});
+  EXPECT_GE(para.members.size(), para.seed_size);
+}
+
+TEST(Integration, EnumerationWindowMatchesPaperTable1Protocol) {
+  // Table 1 enumerates maximal cliques of sizes 3..17 — verify the window
+  // protocol (Init_K = 3, upper bound = omega) is exactly equivalent to
+  // unbounded enumeration above size 3 on a sparse-analog graph.
+  util::Rng rng(13);
+  const auto mg = bio::make_paper_graph(bio::PaperDataset::kBrainSparse,
+                                        0.02, rng);
+  const auto omega = core::maximum_clique(mg.graph).clique.size();
+  core::CliqueEnumeratorOptions unbounded;
+  unbounded.range = core::SizeRange{3, 0};
+  core::CliqueEnumeratorOptions bounded;
+  bounded.range = core::SizeRange{3, omega};
+  EXPECT_EQ(test::run_clique_enumerator(mg.graph, bounded),
+            test::run_clique_enumerator(mg.graph, unbounded));
+}
+
+}  // namespace
+}  // namespace gsb

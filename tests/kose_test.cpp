@@ -1,0 +1,133 @@
+// Tests for the Kose RAM baseline: identical result sets, non-decreasing
+// order, faithful cost/memory characteristics.
+
+#include <gtest/gtest.h>
+
+#include "core/clique_enumerator.h"
+#include "core/kose.h"
+#include "core/verify.h"
+#include "tests/test_helpers.h"
+
+namespace gsb::core {
+namespace {
+
+TEST(KoseRam, TriangleWithPendant) {
+  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  KoseOptions options;
+  options.range = SizeRange{2, 0};
+  const auto got = test::run_kose(g, options);
+  EXPECT_EQ(got, test::reference_in_range(g, options.range));
+}
+
+TEST(KoseRam, NonDecreasingOrder) {
+  const auto g = test::random_graph(30, 0.4, 3);
+  std::size_t last = 0;
+  KoseOptions options;
+  options.range = SizeRange{2, 0};
+  kose_ram(g,
+           [&](std::span<const VertexId> clique) {
+             EXPECT_GE(clique.size(), last);
+             last = clique.size();
+           },
+           options);
+  EXPECT_GT(last, 0u);
+}
+
+TEST(KoseRam, WindowFiltering) {
+  const auto g = test::random_graph(28, 0.45, 7);
+  const auto all = reference_maximal_cliques(g);
+  for (std::size_t lo : {2u, 3u}) {
+    for (std::size_t hi : {0u, 4u}) {
+      KoseOptions options;
+      options.range = SizeRange{lo, hi};
+      EXPECT_EQ(test::run_kose(g, options),
+                filter_by_size(all, options.range))
+          << "lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+TEST(KoseRam, StatsTrackCostDrivers) {
+  const auto g = test::random_graph(25, 0.5, 11);
+  CliqueCollector sink;
+  KoseOptions options;
+  options.range = SizeRange{2, 0};
+  const auto stats = kose_ram(g, sink.callback(), options);
+  EXPECT_EQ(stats.total_maximal, sink.cliques().size());
+  EXPECT_GT(stats.cliques_generated, g.num_edges());
+  EXPECT_GT(stats.containment_scans, 0u);
+  EXPECT_GT(stats.peak_bytes, 0u);
+  EXPECT_FALSE(stats.aborted);
+}
+
+TEST(KoseRam, AbortValveTriggers) {
+  util::Rng rng(5);
+  const auto g = graph::gnp(30, 0.6, rng);
+  CliqueCollector sink;
+  KoseOptions options;
+  options.range = SizeRange{2, 0};
+  options.max_stored_cliques = 10;  // far below the real level sizes
+  const auto stats = kose_ram(g, sink.callback(), options);
+  EXPECT_TRUE(stats.aborted);
+}
+
+TEST(KoseRam, StoresEverythingUnlikeCliqueEnumerator) {
+  // The baseline materializes every clique of every size — its generated
+  // count must dominate the number of maximal cliques by a wide margin on
+  // a clique-rich graph.
+  util::Rng rng(9);
+  const auto planted = graph::planted_clique(40, 10, 0.1, rng);
+  CliqueCounter counter;
+  KoseOptions options;
+  options.range = SizeRange{2, 0};
+  const auto stats = kose_ram(planted.graph, counter.callback(), options);
+  EXPECT_GT(stats.cliques_generated, 10 * counter.total());
+}
+
+class KoseSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, int>> {};
+
+TEST_P(KoseSweepTest, MatchesReference) {
+  const auto [n, p, seed] = GetParam();
+  const auto g = test::random_graph(n, p, static_cast<std::uint64_t>(seed));
+  KoseOptions options;
+  options.range = SizeRange{2, 0};
+  EXPECT_EQ(test::run_kose(g, options),
+            test::reference_in_range(g, options.range));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, KoseSweepTest,
+    ::testing::Combine(::testing::Values<std::size_t>(12, 22, 32),
+                       ::testing::Values(0.2, 0.4),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace gsb::core
+
+namespace gsb::core {
+namespace {
+
+TEST(KoseRam, MemoryDominatesCliqueEnumerator) {
+  // The paper's Table 1 narrative: Kose RAM's peak storage dwarfs the
+  // Clique Enumerator's candidate sub-lists on clique-rich inputs.
+  util::Rng rng(3);
+  const auto planted = graph::planted_clique(60, 13, 0.05, rng);
+  CliqueCounter kose_sink;
+  KoseOptions kose_options;
+  kose_options.range = SizeRange{3, 0};
+  const auto kose = kose_ram(planted.graph, kose_sink.callback(), kose_options);
+
+  util::MemoryTracker tracker;
+  CliqueCounter ce_sink;
+  CliqueEnumeratorOptions ce_options;
+  ce_options.range = SizeRange{3, 0};
+  ce_options.tracker = &tracker;
+  enumerate_maximal_cliques(planted.graph, ce_sink.callback(), ce_options);
+
+  EXPECT_EQ(kose_sink.total(), ce_sink.total());
+  EXPECT_GT(kose.peak_bytes, tracker.peak());
+}
+
+}  // namespace
+}  // namespace gsb::core

@@ -1,0 +1,146 @@
+// Tests for Boolean graph algebra, including the bit-sliced
+// at-least-k-of-n consensus filter.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "netops/ops.h"
+#include "tests/test_helpers.h"
+
+namespace gsb::netops {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(NetOps, IntersectionAndUnionKnown) {
+  const Graph a = Graph::from_edges(4, {{0, 1}, {1, 2}});
+  const Graph b = Graph::from_edges(4, {{1, 2}, {2, 3}});
+  const Graph inter = graph_intersection(a, b);
+  EXPECT_EQ(inter.num_edges(), 1u);
+  EXPECT_TRUE(inter.has_edge(1, 2));
+  const Graph uni = graph_union(a, b);
+  EXPECT_EQ(uni.num_edges(), 3u);
+}
+
+TEST(NetOps, DifferenceAndSymmetricDifference) {
+  const Graph a = Graph::from_edges(4, {{0, 1}, {1, 2}});
+  const Graph b = Graph::from_edges(4, {{1, 2}, {2, 3}});
+  const Graph diff = graph_difference(a, b);
+  EXPECT_EQ(diff.num_edges(), 1u);
+  EXPECT_TRUE(diff.has_edge(0, 1));
+  const Graph sym = graph_symmetric_difference(a, b);
+  EXPECT_EQ(sym.num_edges(), 2u);
+  EXPECT_TRUE(sym.has_edge(0, 1));
+  EXPECT_TRUE(sym.has_edge(2, 3));
+}
+
+TEST(NetOps, SizeMismatchThrows) {
+  const Graph a(3);
+  const Graph b(4);
+  EXPECT_THROW(graph_intersection(a, b), std::invalid_argument);
+  EXPECT_THROW(graph_difference(a, b), std::invalid_argument);
+  EXPECT_THROW(graph_symmetric_difference(a, b), std::invalid_argument);
+}
+
+TEST(NetOps, EmptyListThrows) {
+  EXPECT_THROW(graph_intersection(std::span<const Graph>{}),
+               std::invalid_argument);
+}
+
+TEST(NetOps, AtLeastKValidation) {
+  const std::vector<Graph> graphs(3, Graph(4));
+  EXPECT_THROW(at_least_k_of_n(graphs, 0), std::invalid_argument);
+  EXPECT_THROW(at_least_k_of_n(graphs, 4), std::invalid_argument);
+}
+
+TEST(NetOps, AtLeastKBoundaryCases) {
+  util::Rng rng(3);
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 4; ++i) graphs.push_back(graph::gnp(40, 0.15, rng));
+  EXPECT_TRUE(at_least_k_of_n(graphs, 1) ==
+              graph_union(std::span<const Graph>(graphs)));
+  EXPECT_TRUE(at_least_k_of_n(graphs, 4) ==
+              graph_intersection(std::span<const Graph>(graphs)));
+}
+
+TEST(NetOps, AtLeastKManual) {
+  // Edge (0,1) in 3 graphs, (1,2) in 2, (2,3) in 1.
+  std::vector<Graph> graphs;
+  graphs.push_back(Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}));
+  graphs.push_back(Graph::from_edges(4, {{0, 1}, {1, 2}}));
+  graphs.push_back(Graph::from_edges(4, {{0, 1}}));
+  const Graph two = at_least_k_of_n(graphs, 2);
+  EXPECT_EQ(two.num_edges(), 2u);
+  EXPECT_TRUE(two.has_edge(0, 1));
+  EXPECT_TRUE(two.has_edge(1, 2));
+  const Graph three = at_least_k_of_n(graphs, 3);
+  EXPECT_EQ(three.num_edges(), 1u);
+  EXPECT_TRUE(three.has_edge(0, 1));
+}
+
+class AtLeastKSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, int>> {
+};
+
+TEST_P(AtLeastKSweepTest, MatchesDirectCounting) {
+  const auto [num_graphs, k, seed] = GetParam();
+  if (k > num_graphs) {
+    GTEST_SKIP() << "k exceeds the replicate count (rejected by contract)";
+  }
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const std::size_t n = 60;
+  std::vector<Graph> graphs;
+  for (std::size_t i = 0; i < num_graphs; ++i) {
+    graphs.push_back(graph::gnp(n, 0.2, rng));
+  }
+  const Graph got = at_least_k_of_n(graphs, k);
+  Graph expect(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      std::size_t count = 0;
+      for (const auto& g : graphs) count += g.has_edge(u, v);
+      if (count >= k) expect.add_edge(u, v);
+    }
+  }
+  EXPECT_TRUE(got == expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConsensusSweep, AtLeastKSweepTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 5, 8),
+                       ::testing::Values<std::size_t>(1, 2, 3),
+                       ::testing::Values(1, 2)));
+
+TEST(NetOps, ConsensusCleansNoisyReplicates) {
+  // Planted complex + independent noise per replicate: 2-of-3 voting keeps
+  // the complex and drops most noise.
+  util::Rng rng(11);
+  const std::size_t n = 80;
+  Graph truth(n);
+  const auto members = rng.sample_without_replacement(n, 10);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      truth.add_edge(members[i], members[j]);
+    }
+  }
+  std::vector<Graph> replicates;
+  for (int r = 0; r < 3; ++r) {
+    Graph rep = truth;
+    const Graph noise = graph::gnp(n, 0.03, rng);
+    for (const auto& [u, v] : noise.edge_list()) rep.add_edge(u, v);
+    replicates.push_back(std::move(rep));
+  }
+  const Graph cleaned = at_least_k_of_n(replicates, 2);
+  // All true edges survive (they are in all three replicates).
+  for (const auto& [u, v] : truth.edge_list()) {
+    EXPECT_TRUE(cleaned.has_edge(u, v));
+  }
+  // Noise shrinks sharply versus the union.
+  const Graph uni = at_least_k_of_n(replicates, 1);
+  EXPECT_LT(cleaned.num_edges() - truth.num_edges(),
+            (uni.num_edges() - truth.num_edges()) / 2);
+}
+
+}  // namespace
+}  // namespace gsb::netops

@@ -1,0 +1,116 @@
+// Tests for the verification oracles themselves: the two independent
+// reference enumerators must agree with each other and with hand-computed
+// cases before anything else is trusted against them.
+
+#include <gtest/gtest.h>
+
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "tests/test_helpers.h"
+
+namespace gsb::core {
+namespace {
+
+TEST(Verify, IsCliqueBasics) {
+  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(is_clique(g, std::vector<VertexId>{0, 1, 2}));
+  EXPECT_TRUE(is_clique(g, std::vector<VertexId>{0, 1}));
+  EXPECT_TRUE(is_clique(g, std::vector<VertexId>{3}));
+  EXPECT_FALSE(is_clique(g, std::vector<VertexId>{0, 3}));
+  EXPECT_FALSE(is_clique(g, std::vector<VertexId>{0, 0}));
+  EXPECT_FALSE(is_clique(g, std::vector<VertexId>{0, 9}));
+}
+
+TEST(Verify, IsMaximalCliqueBasics) {
+  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_TRUE(is_maximal_clique(g, std::vector<VertexId>{0, 1, 2}));
+  EXPECT_FALSE(is_maximal_clique(g, std::vector<VertexId>{0, 1}));
+  EXPECT_TRUE(is_maximal_clique(g, std::vector<VertexId>{2, 3}));
+  EXPECT_FALSE(is_maximal_clique(g, std::vector<VertexId>{}));
+}
+
+TEST(Verify, NormalizeSortsEverything) {
+  std::vector<Clique> cliques{{3, 1}, {2, 0}};
+  const auto norm = normalize(std::move(cliques));
+  EXPECT_EQ(norm[0], (Clique{0, 2}));
+  EXPECT_EQ(norm[1], (Clique{1, 3}));
+}
+
+TEST(Verify, FilterBySize) {
+  const std::vector<Clique> cliques{{0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}};
+  const auto mid = filter_by_size(cliques, SizeRange{2, 3});
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0].size(), 2u);
+  EXPECT_EQ(mid[1].size(), 3u);
+  EXPECT_EQ(filter_by_size(cliques, SizeRange{3, 0}).size(), 2u);
+}
+
+TEST(Verify, TriangleWithPendant) {
+  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto expect =
+      normalize(std::vector<Clique>{{0, 1, 2}, {2, 3}});
+  EXPECT_EQ(reference_maximal_cliques(g), expect);
+  EXPECT_EQ(exhaustive_maximal_cliques(g), expect);
+}
+
+TEST(Verify, EmptyAndEdgelessGraphs) {
+  const graph::Graph empty(0);
+  EXPECT_TRUE(reference_maximal_cliques(empty).empty());
+  const graph::Graph isolated(3);
+  const auto expect = normalize(std::vector<Clique>{{0}, {1}, {2}});
+  EXPECT_EQ(reference_maximal_cliques(isolated), expect);
+  EXPECT_EQ(exhaustive_maximal_cliques(isolated), expect);
+}
+
+TEST(Verify, CompleteGraphSingleClique) {
+  util::Rng rng(1);
+  const auto g = graph::gnp(8, 1.0, rng);
+  const auto cliques = reference_maximal_cliques(g);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0].size(), 8u);
+  EXPECT_EQ(exhaustive_maximal_cliques(g), cliques);
+}
+
+TEST(Verify, MoonMoserCount) {
+  // Complete 3-partite K(3,3,3): 3^3 = 27 maximal cliques, all of size 3.
+  graph::Graph g(9);
+  for (VertexId u = 0; u < 9; ++u) {
+    for (VertexId v = u + 1; v < 9; ++v) {
+      if (u / 3 != v / 3) g.add_edge(u, v);
+    }
+  }
+  const auto cliques = reference_maximal_cliques(g);
+  EXPECT_EQ(cliques.size(), 27u);
+  for (const auto& clique : cliques) EXPECT_EQ(clique.size(), 3u);
+  EXPECT_EQ(exhaustive_maximal_cliques(g), cliques);
+}
+
+class OracleAgreementTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, int>> {};
+
+TEST_P(OracleAgreementTest, ReferenceMatchesExhaustive) {
+  const auto [n, p, seed] = GetParam();
+  const auto g = test::random_graph(n, p, static_cast<std::uint64_t>(seed));
+  const auto ref = reference_maximal_cliques(g);
+  EXPECT_EQ(ref, exhaustive_maximal_cliques(g));
+  for (const auto& clique : ref) {
+    EXPECT_TRUE(is_maximal_clique(g, clique));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGraphSweep, OracleAgreementTest,
+    ::testing::Combine(::testing::Values<std::size_t>(5, 9, 13),
+                       ::testing::Values(0.15, 0.4, 0.7),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Verify, ReferenceKCliquesTriangleGraph) {
+  const auto g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_EQ(reference_kcliques(g, 2).size(), 4u);   // the edges
+  EXPECT_EQ(reference_kcliques(g, 3).size(), 1u);   // the triangle
+  EXPECT_TRUE(reference_kcliques(g, 4).empty());
+  EXPECT_EQ(reference_kcliques(g, 1).size(), 4u);
+}
+
+}  // namespace
+}  // namespace gsb::core

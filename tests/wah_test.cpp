@@ -1,0 +1,128 @@
+// Tests for the WAH compressed bitmap: round-trips, compressed-domain
+// algebra equivalence, and compression behaviour on sparse data.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bitset/dynamic_bitset.h"
+#include "bitset/wah_bitset.h"
+#include "util/rng.h"
+
+namespace gsb::bits {
+namespace {
+
+DynamicBitset random_bits(std::size_t n, double density, util::Rng& rng) {
+  DynamicBitset bits(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(density)) bits.set(i);
+  }
+  return bits;
+}
+
+TEST(Wah, EmptyRoundtrip) {
+  DynamicBitset bits(100);
+  const WahBitset packed = WahBitset::compress(bits);
+  EXPECT_EQ(packed.decompress(), bits);
+  EXPECT_EQ(packed.count(), 0u);
+  EXPECT_FALSE(packed.any());
+}
+
+TEST(Wah, FullRoundtrip) {
+  DynamicBitset bits(250);
+  bits.set_all();
+  const WahBitset packed = WahBitset::compress(bits);
+  EXPECT_EQ(packed.decompress(), bits);
+  EXPECT_EQ(packed.count(), 250u);
+  EXPECT_TRUE(packed.any());
+}
+
+TEST(Wah, SingleBitPositions) {
+  for (std::size_t pos : {0u, 30u, 31u, 32u, 61u, 62u, 63u, 92u, 99u}) {
+    DynamicBitset bits(100);
+    bits.set(pos);
+    const WahBitset packed = WahBitset::compress(bits);
+    EXPECT_EQ(packed.decompress(), bits) << "pos=" << pos;
+    EXPECT_EQ(packed.count(), 1u);
+    EXPECT_TRUE(packed.any());
+  }
+}
+
+TEST(Wah, LongRunsCompress) {
+  DynamicBitset bits(31 * 1000);
+  for (std::size_t i = 0; i < 31; ++i) bits.set(i);           // 1 literal-ish
+  for (std::size_t i = 31 * 500; i < 31 * 501; ++i) bits.set(i);
+  const WahBitset packed = WahBitset::compress(bits);
+  EXPECT_EQ(packed.decompress(), bits);
+  // Two 1-groups plus two zero-fills: far fewer than 1000 words.
+  EXPECT_LT(packed.words().size(), 10u);
+  EXPECT_GT(packed.compression_ratio(), 50.0);
+}
+
+TEST(Wah, SparseNeighborhoodCompressionRatio) {
+  util::Rng rng(77);
+  // 0.3% density, the paper's denser graph.
+  const DynamicBitset bits = random_bits(12422, 0.003, rng);
+  const WahBitset packed = WahBitset::compress(bits);
+  EXPECT_EQ(packed.decompress(), bits);
+  EXPECT_GT(packed.compression_ratio(), 2.0);
+}
+
+TEST(Wah, SizeMismatchThrows) {
+  const WahBitset a = WahBitset::compress(DynamicBitset(100));
+  const WahBitset b = WahBitset::compress(DynamicBitset(101));
+  EXPECT_THROW((void)a.and_with(b), std::invalid_argument);
+  EXPECT_THROW((void)a.or_with(b), std::invalid_argument);
+}
+
+TEST(Wah, EqualityAndWords) {
+  DynamicBitset bits(64);
+  bits.set(5);
+  const WahBitset a = WahBitset::compress(bits);
+  const WahBitset b = WahBitset::compress(bits);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a.words().empty());
+}
+
+class WahAlgebraTest : public ::testing::TestWithParam<
+                           std::tuple<std::size_t, double, double, int>> {};
+
+TEST_P(WahAlgebraTest, CompressedOpsMatchUncompressed) {
+  const auto [n, da, db, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 1000 + n);
+  const DynamicBitset a = random_bits(n, da, rng);
+  const DynamicBitset b = random_bits(n, db, rng);
+  const WahBitset wa = WahBitset::compress(a);
+  const WahBitset wb = WahBitset::compress(b);
+
+  // Round trips.
+  ASSERT_EQ(wa.decompress(), a);
+  ASSERT_EQ(wb.decompress(), b);
+  EXPECT_EQ(wa.count(), a.count());
+  EXPECT_EQ(wa.any(), a.any());
+
+  // AND in the compressed domain.
+  DynamicBitset expect_and = a;
+  expect_and &= b;
+  EXPECT_EQ(wa.and_with(wb).decompress(), expect_and);
+
+  // OR in the compressed domain.
+  DynamicBitset expect_or = a;
+  expect_or |= b;
+  EXPECT_EQ(wa.or_with(wb).decompress(), expect_or);
+
+  // Intersection test without materialization.
+  EXPECT_EQ(WahBitset::intersects(wa, wb),
+            DynamicBitset::intersects(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitySweep, WahAlgebraTest,
+    ::testing::Combine(::testing::Values<std::size_t>(31, 62, 93, 100, 500,
+                                                      4096),
+                       ::testing::Values(0.0, 0.001, 0.05, 0.5, 1.0),
+                       ::testing::Values(0.001, 0.3),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace gsb::bits
