@@ -1,0 +1,23 @@
+# Runs the quickstart example and diffs its stdout against the committed
+# golden fixture.  Invoked by CTest:
+#   cmake -DQUICKSTART=<exe> -DGOLDEN=<fixture> -P RunGolden.cmake
+execute_process(
+  COMMAND ${QUICKSTART}
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quickstart exited with ${rc}")
+endif()
+file(READ ${GOLDEN} expected)
+# Normalize line endings so the comparison is platform-stable.
+string(REPLACE "\r\n" "\n" actual "${actual}")
+string(REPLACE "\r\n" "\n" expected "${expected}")
+# Wall-clock timings vary run to run; mask them before diffing.
+string(REGEX REPLACE "[0-9]+\\.?[0-9]* ms" "<time> ms" actual "${actual}")
+string(REGEX REPLACE "[0-9]+\\.?[0-9]* ms" "<time> ms" expected "${expected}")
+if(NOT actual STREQUAL expected)
+  file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/quickstart_actual.txt "${actual}")
+  message(FATAL_ERROR
+    "quickstart output diverged from golden fixture ${GOLDEN};"
+    " actual output saved to quickstart_actual.txt")
+endif()

@@ -1,0 +1,397 @@
+// gsb — the pipeline driver: every stage of the paper's workflow behind one
+// binary.
+//
+// The paper's genomics pipeline is "raw microarray data after normalization,
+// pairwise rank coefficient calculation, and filtering using threshold",
+// followed by clique-based analysis of the resulting relationship graph.
+// This tool exposes that chain end to end, plus the individual stages, so a
+// run can start from synthetic expression data, a saved graph file, or a
+// generated random ensemble.
+//
+//   $ gsb pipeline --genes 800 --samples 60 --threshold 0.70 --threads 4
+//   $ gsb cliques graph.clq --min 4 --threads 8 --count-only
+//   $ gsb maximum graph.clq
+//   $ gsb generate --kind modules --n 2000 --out graph.clq
+//   $ gsb --help
+
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/clique_stats.h"
+#include "analysis/hubs.h"
+#include "analysis/paraclique.h"
+#include "bio/correlation.h"
+#include "bio/generator.h"
+#include "bio/normalize.h"
+#include "core/clique.h"
+#include "core/clique_enumerator.h"
+#include "core/maximum_clique.h"
+#include "core/parallel_enumerator.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gsb;
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+R"(gsb — genome-scale clique analysis (SC'05 framework)
+
+usage: gsb <command> [flags]
+
+commands:
+  pipeline   microarray -> normalize -> rank correlation -> threshold graph
+             -> maximal cliques -> paracliques -> hub genes
+  cliques    enumerate maximal cliques of a graph file
+  maximum    exact maximum clique of a graph file
+  generate   synthesize a graph file (G(n,p) or planted modules)
+  help       this text
+
+pipeline flags:
+  --genes N --samples S     synthetic microarray shape   (800 x 60)
+  --modules M               planted co-regulated modules (genes/40)
+  --method pearson|spearman correlation method           (spearman)
+  --threshold T             edge iff |corr| >= T         (0.70)
+  --target-edges E          pick threshold for ~E edges  (off)
+  --graph FILE              skip expression stages, load graph instead
+  --init-k K --max-k K      enumeration size window      (4, unbounded)
+  --threads P               worker threads, 0 = cores, 1 = sequential (0)
+  --glom G                  paraclique non-neighbor allowance (1)
+  --min-paraclique S        stop extraction below size S (5)
+  --hubs H                  hub genes reported           (10)
+  --seed X                  RNG seed                     (2005)
+  --csv PREFIX              also write PREFIX_*.csv tables
+
+cliques flags: <file> [--format dimacs|edges|binary] [--min K] [--max K]
+               [--threads P] [--count-only] [--progress]
+maximum flags: <file> [--format dimacs|edges|binary]
+generate flags: --kind gnp|modules --n N [--p P | --edges E] --out FILE
+                [--seed X] [--format dimacs|edges|binary]
+
+Every flag can also be set through the environment as GSB_<NAME>.
+)");
+  return out == stdout ? 0 : 2;
+}
+
+/// Explicit --format value, or sniffed from the path extension.
+std::string detect_format(const std::string& path, const std::string& format) {
+  if (!format.empty()) return format;
+  if (path.ends_with(".clq") || path.ends_with(".dimacs")) return "dimacs";
+  if (path.ends_with(".bin") || path.ends_with(".gsbg")) return "binary";
+  return "edges";
+}
+
+graph::Graph load_graph(const std::string& path, const std::string& format) {
+  const std::string kind = detect_format(path, format);
+  if (kind == "dimacs") return graph::read_dimacs_file(path);
+  if (kind == "binary") return graph::read_binary_file(path);
+  if (kind == "edges") return graph::read_edge_list_file(path);
+  throw std::runtime_error("unknown format '" + kind + "'");
+}
+
+void save_graph(const graph::Graph& g, const std::string& path,
+                const std::string& format, const std::string& comment) {
+  const std::string kind = detect_format(path, format);
+  if (kind == "dimacs") return graph::write_dimacs_file(g, path, comment);
+  if (kind == "binary") return graph::write_binary_file(g, path);
+  if (kind == "edges") return graph::write_edge_list_file(g, path);
+  throw std::runtime_error("unknown format '" + kind + "'");
+}
+
+/// Non-negative integer flag; rejects `--threads -1`-style values instead of
+/// letting them wrap through size_t into absurd allocation sizes.
+std::size_t size_flag(const util::Cli& cli, const std::string& name,
+                      std::int64_t fallback) {
+  const std::int64_t value = cli.get_int(name, fallback);
+  if (value < 0) {
+    throw std::runtime_error("--" + name + " must be >= 0, got " +
+                             std::to_string(value));
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Runs the enumerator (sequential when threads == 1) and collects cliques.
+core::EnumerationStats enumerate(const graph::Graph& g,
+                                 const core::SizeRange& range,
+                                 std::size_t threads,
+                                 const core::CliqueCallback& sink) {
+  if (threads == 1) {
+    core::CliqueEnumeratorOptions options;
+    options.range = range;
+    return core::enumerate_maximal_cliques(g, sink, options);
+  }
+  core::ParallelOptions options;
+  options.range = range;
+  options.threads = threads;
+  return core::enumerate_maximal_cliques_parallel(g, sink, options).base;
+}
+
+void warn_unqueried(const util::Cli& cli) {
+  for (const auto& flag : cli.unqueried()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
+  }
+}
+
+// --- gsb pipeline -----------------------------------------------------------
+
+int cmd_pipeline(const util::Cli& cli) {
+  const auto threads = size_flag(cli, "threads", 0);
+  const auto init_k = size_flag(cli, "init-k", 4);
+  const auto max_k = size_flag(cli, "max-k", 0);
+  const auto glom = size_flag(cli, "glom", 1);
+  const auto min_para = size_flag(cli, "min-paraclique", 5);
+  const auto hub_count = size_flag(cli, "hubs", 10);
+  const std::string csv = cli.get("csv", "");
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 2005)));
+
+  // --- stage 1-3: expression -> normalize -> thresholded correlation graph,
+  // or a graph file when --graph is given.
+  graph::Graph g;
+  double threshold_used = 0.0;
+  if (cli.has("graph")) {
+    g = load_graph(cli.get("graph", ""), cli.get("format", ""));
+    threshold_used = cli.get_double("threshold", 0.0);
+    std::printf("graph: loaded %zu vertices, %zu edges (density %.3f%%)\n",
+                g.order(), g.num_edges(), 100.0 * g.density());
+  } else {
+    const auto genes = size_flag(cli, "genes", 800);
+    const auto samples = size_flag(cli, "samples", 60);
+    bio::MicroarrayConfig config;
+    config.genes = genes;
+    config.samples = samples;
+    config.modules =
+        size_flag(cli, "modules", static_cast<std::int64_t>(genes / 40));
+    auto data = bio::generate_microarray(config, rng);
+    std::printf("microarray: %zu probes x %zu arrays, %zu planted modules\n",
+                data.expression.genes(), data.expression.samples(),
+                data.modules.size());
+
+    bio::quantile_normalize(data.expression);
+    bio::CorrelationGraphOptions graph_options;
+    graph_options.method = cli.get("method", "spearman") == "pearson"
+                               ? bio::CorrelationMethod::kPearson
+                               : bio::CorrelationMethod::kSpearman;
+    graph_options.threshold = cli.get_double("threshold", 0.70);
+    graph_options.target_edges =
+        size_flag(cli, "target-edges", 0);
+    auto built = bio::build_correlation_graph(data.expression, graph_options,
+                                              rng);
+    g = std::move(built.graph);
+    threshold_used = built.threshold_used;
+    std::printf(
+        "correlation graph: |rho| >= %.3f -> %zu edges (density %.3f%%)\n",
+        threshold_used, g.num_edges(), 100.0 * g.density());
+  }
+  warn_unqueried(cli);
+  if (g.order() == 0) {
+    std::fprintf(stderr, "error: empty graph, nothing to analyze\n");
+    return 1;
+  }
+
+  // --- stage 4: maximum clique fixes the enumeration upper bound (§2.1).
+  const auto max_result = core::maximum_clique(g);
+  std::printf("maximum clique: %zu vertices (%s)\n", max_result.clique.size(),
+              util::format_seconds(max_result.seconds).c_str());
+
+  // --- stage 5: bounded maximal clique enumeration.
+  core::CliqueCollector collector;
+  const core::SizeRange range{init_k, max_k};
+  const auto stats = enumerate(g, range, threads, collector.callback());
+  const auto& cliques = collector.cliques();
+  std::printf("maximal cliques in [%zu, %s]: %llu (%s, %zu threads)\n",
+              range.lo,
+              range.hi == 0 ? "inf" : std::to_string(range.hi).c_str(),
+              static_cast<unsigned long long>(stats.total_maximal),
+              util::format_seconds(stats.total_seconds).c_str(),
+              threads == 0 ? static_cast<std::size_t>(
+                                 std::thread::hardware_concurrency())
+                           : threads);
+
+  const auto spectrum = analysis::clique_spectrum(cliques);
+  util::TableWriter size_table({"clique size", "count"});
+  for (const auto& [size, count] : spectrum.size_histogram) {
+    size_table.add_row(
+        {util::format("%zu", size),
+         util::format("%llu", static_cast<unsigned long long>(count))});
+  }
+  size_table.print();
+  if (!csv.empty()) size_table.write_csv(csv + "_cliques.csv");
+
+  // --- stage 6: paraclique extraction (glom factor per the paper).
+  analysis::ParacliqueOptions para_options;
+  para_options.glom = glom;
+  const auto paracliques =
+      analysis::extract_all_paracliques(g, min_para, para_options);
+  util::TableWriter para_table(
+      {"paraclique", "members", "seed", "density"});
+  for (std::size_t i = 0; i < paracliques.size(); ++i) {
+    const auto& p = paracliques[i];
+    para_table.add_row({util::format("%zu", i + 1),
+                        util::format("%zu", p.members.size()),
+                        util::format("%zu", p.seed_size),
+                        util::format("%.3f", p.density)});
+  }
+  std::printf("paracliques (glom %zu, min size %zu): %zu\n", glom, min_para,
+              paracliques.size());
+  para_table.print();
+  if (!csv.empty()) para_table.write_csv(csv + "_paracliques.csv");
+
+  // --- stage 7: hub report (the paper's Lin7c-style analysis).
+  const auto hubs = analysis::top_hubs(g, cliques, hub_count);
+  util::TableWriter hub_table({"rank", "vertex", "degree", "cliques"});
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    hub_table.add_row({util::format("%zu", i + 1),
+                       util::format("%u", hubs[i].vertex),
+                       util::format("%zu", hubs[i].degree),
+                       util::format("%u", hubs[i].clique_participation)});
+  }
+  std::printf("top %zu hub vertices:\n", hubs.size());
+  hub_table.print();
+  if (!csv.empty()) hub_table.write_csv(csv + "_hubs.csv");
+  return 0;
+}
+
+// --- gsb cliques ------------------------------------------------------------
+
+int cmd_cliques(const util::Cli& cli) {
+  if (cli.positional().size() < 2) {
+    std::fprintf(stderr, "usage: gsb cliques <graph-file> [flags]\n");
+    return 2;
+  }
+  graph::Graph g = load_graph(cli.positional()[1], cli.get("format", ""));
+  std::fprintf(stderr, "loaded %zu vertices, %zu edges (density %.3f%%)\n",
+               g.order(), g.num_edges(), 100.0 * g.density());
+
+  const core::SizeRange range{
+      size_flag(cli, "min", 3),
+      size_flag(cli, "max", 0)};
+  const auto threads = size_flag(cli, "threads", 0);
+  const bool count_only = cli.get_bool("count-only", false);
+  if (cli.get_bool("progress", false)) {
+    util::set_log_level(util::LogLevel::kInfo);
+  }
+  warn_unqueried(cli);
+
+  core::CliqueCounter counter;
+  auto counting = counter.callback();
+  const core::CliqueCallback sink =
+      [&](std::span<const graph::VertexId> clique) {
+        counting(clique);
+        if (!count_only) {
+          for (std::size_t i = 0; i < clique.size(); ++i) {
+            std::printf("%s%u", i ? " " : "", clique[i]);
+          }
+          std::printf("\n");
+        }
+      };
+  const auto stats = enumerate(g, range, threads, sink);
+  std::fprintf(stderr, "%llu maximal cliques in %s\n",
+               static_cast<unsigned long long>(stats.total_maximal),
+               util::format_seconds(stats.total_seconds).c_str());
+  if (count_only) {
+    util::TableWriter table({"size", "maximal cliques"});
+    for (const auto& [size, count] : counter.by_size()) {
+      table.add_row(
+          {util::format("%zu", size),
+           util::format("%llu", static_cast<unsigned long long>(count))});
+    }
+    table.print();
+  }
+  return 0;
+}
+
+// --- gsb maximum ------------------------------------------------------------
+
+int cmd_maximum(const util::Cli& cli) {
+  if (cli.positional().size() < 2) {
+    std::fprintf(stderr, "usage: gsb maximum <graph-file> [--format F]\n");
+    return 2;
+  }
+  graph::Graph g = load_graph(cli.positional()[1], cli.get("format", ""));
+  warn_unqueried(cli);
+  const auto result = core::maximum_clique(g);
+  std::printf("maximum clique: %zu vertices (%llu nodes, %s)\n",
+              result.clique.size(),
+              static_cast<unsigned long long>(result.tree_nodes),
+              util::format_seconds(result.seconds).c_str());
+  for (std::size_t i = 0; i < result.clique.size(); ++i) {
+    std::printf("%s%u", i ? " " : "", result.clique[i]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+// --- gsb generate -----------------------------------------------------------
+
+int cmd_generate(const util::Cli& cli) {
+  const std::string out = cli.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "usage: gsb generate --kind gnp|modules --n N "
+                 "[--p P | --edges E] --out FILE\n");
+    return 2;
+  }
+  const std::string kind = cli.get("kind", "gnp");
+  const auto n = size_flag(cli, "n", 1000);
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 2005)));
+
+  graph::Graph g;
+  std::string comment;
+  if (kind == "gnp") {
+    const double p = cli.get_double("p", 0.01);
+    g = graph::gnp(n, p, rng);
+    comment = util::format("G(%zu, %g)", n, p);
+  } else if (kind == "modules") {
+    graph::ModuleGraphConfig config;
+    config.n = n;
+    config.num_modules =
+        size_flag(cli, "modules", static_cast<std::int64_t>(n / 33));
+    config.max_module_size =
+        size_flag(cli, "max-module", 20);
+    const auto target =
+        size_flag(cli, "edges", 0);
+    auto built = target > 0
+                     ? graph::planted_modules_with_edges(config, target, rng)
+                     : graph::planted_modules(config, rng);
+    g = std::move(built.graph);
+    comment = util::format("planted modules on %zu vertices (%zu modules)", n,
+                           built.modules.size());
+  } else {
+    std::fprintf(stderr, "error: unknown --kind '%s'\n", kind.c_str());
+    return 2;
+  }
+  warn_unqueried(cli);
+  save_graph(g, out, cli.get("format", ""), comment);
+  std::printf("wrote %s: %zu vertices, %zu edges (density %.3f%%)\n",
+              out.c_str(), g.order(), g.num_edges(), 100.0 * g.density());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string command =
+      cli.positional().empty() ? "" : cli.positional().front();
+  if (cli.has("help") || command == "help") return usage(stdout);
+  try {
+    if (command == "pipeline") return cmd_pipeline(cli);
+    if (command == "cliques") return cmd_cliques(cli);
+    if (command == "maximum") return cmd_maximum(cli);
+    if (command == "generate") return cmd_generate(cli);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage(stderr);
+}

@@ -34,9 +34,9 @@ Cli::Cli(int argc, const char* const* argv) {
     // `--flag value` unless the next token is another flag (or absent), in
     // which case it is treated as boolean true.
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      values_.insert_or_assign(std::move(arg), std::string(argv[++i]));
     } else {
-      values_[arg] = "1";
+      values_.insert_or_assign(std::move(arg), std::string("1"));
     }
   }
 }

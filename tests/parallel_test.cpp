@@ -229,6 +229,32 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<std::size_t>(2, 4),
                        ::testing::Values(1, 2)));
 
+// Determinism across thread counts: on 20 seeded G(n, p) graphs, the
+// parallel enumerator must produce the exact result set of the sequential
+// Clique Enumerator for every thread count — the paper's multithreaded
+// driver changes only the schedule, never the output.
+TEST(ParallelDeterminism, MatchesSequentialForAllThreadCounts) {
+  constexpr std::size_t kGraphs = 20;
+  constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+  for (std::size_t i = 0; i < kGraphs; ++i) {
+    // Alternate sparse/dense instances so both wide and deep levels occur.
+    const std::size_t n = 24 + 2 * i;
+    const double p = (i % 2 == 0) ? 0.18 : 0.40;
+    const auto g = test::random_graph(n, p, 7000 + i);
+    core::CliqueEnumeratorOptions sequential_options;
+    sequential_options.range = core::SizeRange{3, 0};
+    const auto expected = test::run_clique_enumerator(g, sequential_options);
+    for (const std::size_t threads : kThreadCounts) {
+      core::ParallelOptions options;
+      options.range = core::SizeRange{3, 0};
+      options.threads = threads;
+      EXPECT_EQ(test::run_parallel_enumerator(g, options), expected)
+          << "graph=" << i << " n=" << n << " p=" << p
+          << " threads=" << threads;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gsb
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <tuple>
 
 #include "bitset/dynamic_bitset.h"
@@ -123,6 +124,46 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.0, 0.001, 0.05, 0.5, 1.0),
                        ::testing::Values(0.001, 0.3),
                        ::testing::Values(1, 2)));
+
+// Randomized differential test: 1000 seeded (size, density-pair) draws with
+// densities spanning the sparse-to-dense range the graph neighborhoods
+// actually exhibit.  Each draw checks the full compressed-domain algebra
+// (AND, OR, count, any, intersects) against the DynamicBitset reference.
+TEST(WahDifferential, RandomizedAlgebraVsDynamicBitsetReference) {
+  constexpr double kDensities[] = {0.001, 0.005, 0.02, 0.1, 0.25, 0.5};
+  constexpr std::size_t kIterations = 1000;
+  util::Rng rng(20050131);
+  for (std::size_t iter = 0; iter < kIterations; ++iter) {
+    // Sizes hit group boundaries (multiples of 31) and arbitrary tails.
+    const std::size_t n = 1 + rng.below(5000);
+    const double da = kDensities[iter % std::size(kDensities)];
+    const double db = kDensities[(iter / std::size(kDensities)) %
+                                 std::size(kDensities)];
+    const DynamicBitset a = random_bits(n, da, rng);
+    const DynamicBitset b = random_bits(n, db, rng);
+    const WahBitset wa = WahBitset::compress(a);
+    const WahBitset wb = WahBitset::compress(b);
+
+    ASSERT_EQ(wa.decompress(), a) << "iter=" << iter << " n=" << n;
+    ASSERT_EQ(wa.count(), a.count()) << "iter=" << iter << " n=" << n;
+    ASSERT_EQ(wa.any(), a.any()) << "iter=" << iter << " n=" << n;
+
+    DynamicBitset expect_and = a;
+    expect_and &= b;
+    DynamicBitset expect_or = a;
+    expect_or |= b;
+    const WahBitset wand = wa.and_with(wb);
+    const WahBitset wor = wa.or_with(wb);
+    ASSERT_EQ(wand.decompress(), expect_and)
+        << "iter=" << iter << " n=" << n << " da=" << da << " db=" << db;
+    ASSERT_EQ(wand.count(), expect_and.count()) << "iter=" << iter;
+    ASSERT_EQ(wor.decompress(), expect_or)
+        << "iter=" << iter << " n=" << n << " da=" << da << " db=" << db;
+    ASSERT_EQ(wor.count(), expect_or.count()) << "iter=" << iter;
+    ASSERT_EQ(WahBitset::intersects(wa, wb), DynamicBitset::intersects(a, b))
+        << "iter=" << iter;
+  }
+}
 
 }  // namespace
 }  // namespace gsb::bits
