@@ -7,7 +7,7 @@
 
 namespace gsb::analysis {
 
-std::vector<HubReport> top_hubs(const graph::Graph& g,
+std::vector<HubReport> top_hubs(const graph::GraphView& g,
                                 const std::vector<core::Clique>& cliques,
                                 std::size_t count) {
   const auto participation = vertex_participation(g.order(), cliques);
@@ -27,7 +27,7 @@ std::vector<HubReport> top_hubs(const graph::Graph& g,
   return reports;
 }
 
-HubReport most_connected_vertex(const graph::Graph& g,
+HubReport most_connected_vertex(const graph::GraphView& g,
                                 const std::vector<core::Clique>& cliques) {
   if (g.order() == 0) {
     throw std::invalid_argument("most_connected_vertex: empty graph");

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "core/clique.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace gsb::analysis {
 
@@ -24,12 +24,12 @@ struct HubReport {
 };
 
 /// Top \p count vertices ranked by degree, ties by clique participation.
-std::vector<HubReport> top_hubs(const graph::Graph& g,
+std::vector<HubReport> top_hubs(const graph::GraphView& g,
                                 const std::vector<core::Clique>& cliques,
                                 std::size_t count);
 
 /// The single most connected vertex (order() must be > 0).
-HubReport most_connected_vertex(const graph::Graph& g,
+HubReport most_connected_vertex(const graph::GraphView& g,
                                 const std::vector<core::Clique>& cliques);
 
 }  // namespace gsb::analysis

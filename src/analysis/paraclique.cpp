@@ -5,6 +5,7 @@
 #include "bitset/dynamic_bitset.h"
 #include "core/maximum_clique.h"
 #include "graph/transforms.h"
+#include "util/memory_tracker.h"
 
 namespace gsb::analysis {
 
@@ -12,7 +13,7 @@ using bits::DynamicBitset;
 using core::Clique;
 using graph::VertexId;
 
-Paraclique grow_paraclique(const graph::Graph& g, const Clique& seed_clique,
+Paraclique grow_paraclique(const graph::GraphView& g, const Clique& seed_clique,
                            const ParacliqueOptions& options) {
   Paraclique result;
   result.seed_size = seed_clique.size();
@@ -45,17 +46,24 @@ Paraclique grow_paraclique(const graph::Graph& g, const Clique& seed_clique,
   return result;
 }
 
-Paraclique extract_paraclique(const graph::Graph& g,
+Paraclique extract_paraclique(const graph::GraphView& g,
                               const ParacliqueOptions& options) {
   const auto seed = core::maximum_clique(g);
   return grow_paraclique(g, seed.clique, options);
 }
 
 std::vector<Paraclique> extract_all_paracliques(
-    const graph::Graph& g, std::size_t min_size,
+    const graph::GraphView& g, std::size_t min_size,
     const ParacliqueOptions& options) {
   std::vector<Paraclique> out;
-  graph::Graph residue = g;
+  // Iterative extraction removes edges, so this is the one analysis stage
+  // that cannot run off a read-only mapping: it materializes a mutable
+  // copy.  Recorded with the tracker so out-of-core runs report it
+  // honestly in their memory summary.
+  graph::Graph residue = graph::materialize(g);
+  util::ScopedAllocation residue_bytes(util::global_memory_tracker(),
+                                       residue.adjacency_bytes(),
+                                       util::MemTag::kGraph);
   while (true) {
     const auto seed = core::maximum_clique(residue);
     if (seed.clique.size() < std::max<std::size_t>(min_size, 1)) break;

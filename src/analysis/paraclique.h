@@ -11,7 +11,7 @@
 /// outward with vertices adjacent to almost all current members.
 
 #include "core/clique.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace gsb::analysis {
 
@@ -30,18 +30,18 @@ struct Paraclique {
 };
 
 /// Grows a paraclique from \p seed_clique (assumed to be a clique of g).
-Paraclique grow_paraclique(const graph::Graph& g,
+Paraclique grow_paraclique(const graph::GraphView& g,
                            const core::Clique& seed_clique,
                            const ParacliqueOptions& options = {});
 
 /// Convenience: finds a maximum clique (branch and bound) and gloms it.
-Paraclique extract_paraclique(const graph::Graph& g,
+Paraclique extract_paraclique(const graph::GraphView& g,
                               const ParacliqueOptions& options = {});
 
 /// Iteratively extracts disjoint paracliques (each round removes the
 /// found members) until none of at least \p min_size remains.
 std::vector<Paraclique> extract_all_paracliques(
-    const graph::Graph& g, std::size_t min_size,
+    const graph::GraphView& g, std::size_t min_size,
     const ParacliqueOptions& options = {});
 
 }  // namespace gsb::analysis

@@ -47,14 +47,8 @@ Standardized standardize_all(const ExpressionMatrix& expression,
   out.values.resize(genes * out.samples);
   out.valid.assign(genes, false);
   std::vector<double> buffer;
-  std::vector<double> ranks;
   for (std::size_t g = 0; g < genes; ++g) {
-    std::span<const double> profile = expression.row(g);
-    if (method == CorrelationMethod::kSpearman) {
-      ranks = midranks(profile);
-      profile = ranks;
-    }
-    out.valid[g] = standardize(profile, buffer);
+    out.valid[g] = standardized_profile(expression.row(g), method, buffer);
     std::copy(buffer.begin(), buffer.end(),
               out.values.begin() + static_cast<std::ptrdiff_t>(g * out.samples));
   }
@@ -62,12 +56,28 @@ Standardized standardize_all(const ExpressionMatrix& expression,
 }
 
 double dot(const double* a, const double* b, std::size_t n) noexcept {
+  return profile_dot(a, b, n);
+}
+
+}  // namespace
+
+bool standardized_profile(std::span<const double> profile,
+                          CorrelationMethod method, std::vector<double>& out) {
+  if (method == CorrelationMethod::kSpearman) {
+    const std::vector<double> ranks = midranks(profile);
+    if (standardize(ranks, out)) return true;
+  } else if (standardize(profile, out)) {
+    return true;
+  }
+  out.assign(profile.size(), 0.0);
+  return false;
+}
+
+double profile_dot(const double* a, const double* b, std::size_t n) noexcept {
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) total += a[i] * b[i];
   return total;
 }
-
-}  // namespace
 
 std::vector<double> midranks(std::span<const double> values) {
   const std::size_t n = values.size();

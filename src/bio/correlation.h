@@ -30,6 +30,20 @@ double spearman(std::span<const double> x, std::span<const double> y);
 /// Tie-averaged ranks of a profile (1-based averages, standard midranks).
 std::vector<double> midranks(std::span<const double> values);
 
+/// Standardizes a profile for dot-product correlation under \p method
+/// (rank-transforms first for Spearman): mean 0, unit norm.  Returns false
+/// for constant profiles (out is left all-zero).  Both the in-memory and
+/// the tiled out-of-core builders go through this one function, which is
+/// what makes their edge sets bit-identical.
+bool standardized_profile(std::span<const double> profile,
+                          CorrelationMethod method, std::vector<double>& out);
+
+/// Plain sequential dot product — the correlation inner loop.  Kept as a
+/// named function so every builder accumulates in the same order (floating
+/// point addition is not associative; a different order could flip edges
+/// sitting exactly on the threshold).
+double profile_dot(const double* a, const double* b, std::size_t n) noexcept;
+
 /// Dense symmetric correlation matrix (genes x genes, float to halve the
 /// footprint).  Quadratic in genes; prefer build_correlation_graph for
 /// thresholded use.

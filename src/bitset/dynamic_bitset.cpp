@@ -19,87 +19,54 @@ void DynamicBitset::set_all() noexcept {
   trim();
 }
 
-std::size_t DynamicBitset::count() const noexcept {
-  std::size_t total = 0;
-  for (Word word : words_) {
-    total += static_cast<std::size_t>(__builtin_popcountll(word));
-  }
-  return total;
-}
+// The read-only scan kernels live in BitsetView; delegating keeps exactly
+// one copy of each word loop for both backends.
+std::size_t DynamicBitset::count() const noexcept { return view().count(); }
 
 std::size_t DynamicBitset::count_from(std::size_t pos) const noexcept {
-  if (pos >= nbits_) return 0;
-  std::size_t w = pos / kWordBits;
-  std::size_t total = static_cast<std::size_t>(
-      __builtin_popcountll(words_[w] & (~Word{0} << (pos % kWordBits))));
-  for (++w; w < words_.size(); ++w) {
-    total += static_cast<std::size_t>(__builtin_popcountll(words_[w]));
-  }
-  return total;
+  return view().count_from(pos);
 }
 
-bool DynamicBitset::none() const noexcept {
-  for (Word word : words_) {
-    if (word != 0) return false;
-  }
-  return true;
-}
+bool DynamicBitset::none() const noexcept { return view().none(); }
 
 std::size_t DynamicBitset::find_first() const noexcept {
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    if (words_[w] != 0) {
-      return w * kWordBits +
-             static_cast<std::size_t>(__builtin_ctzll(words_[w]));
-    }
-  }
-  return nbits_;
+  return view().find_first();
 }
 
 std::size_t DynamicBitset::find_next(std::size_t pos) const noexcept {
-  ++pos;
-  if (pos >= nbits_) return nbits_;
-  std::size_t w = pos / kWordBits;
-  Word word = words_[w] & (~Word{0} << (pos % kWordBits));
-  while (true) {
-    if (word != 0) {
-      return w * kWordBits + static_cast<std::size_t>(__builtin_ctzll(word));
-    }
-    if (++w >= words_.size()) return nbits_;
-    word = words_[w];
-  }
+  return view().find_next(pos);
 }
 
 std::vector<std::uint32_t> DynamicBitset::to_vector() const {
-  std::vector<std::uint32_t> out;
-  out.reserve(count());
-  for_each([&](std::size_t index) {
-    out.push_back(static_cast<std::uint32_t>(index));
-  });
-  return out;
+  return view().to_vector();
 }
 
-DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) noexcept {
-  assert(nbits_ == other.nbits_);
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+DynamicBitset& DynamicBitset::operator&=(BitsetView other) noexcept {
+  assert(nbits_ == other.size());
+  const Word* po = other.data();
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= po[w];
   return *this;
 }
 
-DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) noexcept {
-  assert(nbits_ == other.nbits_);
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+DynamicBitset& DynamicBitset::operator|=(BitsetView other) noexcept {
+  assert(nbits_ == other.size());
+  const Word* po = other.data();
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= po[w];
   return *this;
 }
 
-DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) noexcept {
-  assert(nbits_ == other.nbits_);
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+DynamicBitset& DynamicBitset::operator^=(BitsetView other) noexcept {
+  assert(nbits_ == other.size());
+  const Word* po = other.data();
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= po[w];
   return *this;
 }
 
-DynamicBitset& DynamicBitset::and_not(const DynamicBitset& other) noexcept {
-  assert(nbits_ == other.nbits_);
+DynamicBitset& DynamicBitset::and_not(BitsetView other) noexcept {
+  assert(nbits_ == other.size());
+  const Word* po = other.data();
   for (std::size_t w = 0; w < words_.size(); ++w) {
-    words_[w] &= ~other.words_[w];
+    words_[w] &= ~po[w];
   }
   return *this;
 }
@@ -109,43 +76,17 @@ void DynamicBitset::flip_all() noexcept {
   trim();
 }
 
-void DynamicBitset::assign_and(const DynamicBitset& a,
-                               const DynamicBitset& b) noexcept {
-  assert(a.nbits_ == b.nbits_ && nbits_ == a.nbits_);
-  const Word* pa = a.words_.data();
-  const Word* pb = b.words_.data();
+void DynamicBitset::assign_and(BitsetView a, BitsetView b) noexcept {
+  assert(a.size() == b.size() && nbits_ == a.size());
+  const Word* pa = a.data();
+  const Word* pb = b.data();
   Word* out = words_.data();
   for (std::size_t w = 0; w < words_.size(); ++w) out[w] = pa[w] & pb[w];
 }
 
-bool DynamicBitset::intersects(const DynamicBitset& a,
-                               const DynamicBitset& b) noexcept {
-  assert(a.nbits_ == b.nbits_);
-  const Word* pa = a.words_.data();
-  const Word* pb = b.words_.data();
-  for (std::size_t w = 0; w < a.words_.size(); ++w) {
-    if ((pa[w] & pb[w]) != 0) return true;
-  }
-  return false;
-}
-
-std::size_t DynamicBitset::count_and(const DynamicBitset& a,
-                                     const DynamicBitset& b) noexcept {
-  assert(a.nbits_ == b.nbits_);
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < a.words_.size(); ++w) {
-    total += static_cast<std::size_t>(
-        __builtin_popcountll(a.words_[w] & b.words_[w]));
-  }
-  return total;
-}
-
-bool DynamicBitset::is_subset_of(const DynamicBitset& other) const noexcept {
-  assert(nbits_ == other.nbits_);
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    if ((words_[w] & ~other.words_[w]) != 0) return false;
-  }
-  return true;
+bool DynamicBitset::is_subset_of(BitsetView other) const noexcept {
+  assert(nbits_ == other.size());
+  return view().is_subset_of(other);
 }
 
 std::string DynamicBitset::to_string() const {

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "bitset/bitset_view.h"
+
 namespace gsb::bits {
 
 /// Fixed-universe resizable bitset over 64-bit words.
@@ -98,25 +100,20 @@ class DynamicBitset {
   /// Calls \p fn(index) for every set bit in increasing order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      Word word = words_[w];
-      while (word != 0) {
-        const int bit = __builtin_ctzll(word);
-        fn(w * kWordBits + static_cast<std::size_t>(bit));
-        word &= word - 1;
-      }
-    }
+    view().for_each(static_cast<Fn&&>(fn));
   }
 
   /// Materializes the set bits as a sorted vector of 32-bit indices.
   [[nodiscard]] std::vector<std::uint32_t> to_vector() const;
 
   /// --- in-place set algebra ---------------------------------------------
-  DynamicBitset& operator&=(const DynamicBitset& other) noexcept;
-  DynamicBitset& operator|=(const DynamicBitset& other) noexcept;
-  DynamicBitset& operator^=(const DynamicBitset& other) noexcept;
+  /// Operands may be DynamicBitsets (implicit conversion) or views into
+  /// foreign storage such as a memory-mapped adjacency row.
+  DynamicBitset& operator&=(BitsetView other) noexcept;
+  DynamicBitset& operator|=(BitsetView other) noexcept;
+  DynamicBitset& operator^=(BitsetView other) noexcept;
   /// this = this AND NOT other.
-  DynamicBitset& and_not(const DynamicBitset& other) noexcept;
+  DynamicBitset& and_not(BitsetView other) noexcept;
   /// Flips every bit in the universe.
   void flip_all() noexcept;
 
@@ -124,17 +121,19 @@ class DynamicBitset {
 
   /// this = a AND b.  All three must share one universe; `this` may alias
   /// either operand.
-  void assign_and(const DynamicBitset& a, const DynamicBitset& b) noexcept;
+  void assign_and(BitsetView a, BitsetView b) noexcept;
 
   /// True iff (a AND b) has any set bit; early-exits on the first hit.
   /// Equivalent to BitOneExists(BitAND(a, b)) from the paper's pseudocode
   /// without materializing the intersection.
-  static bool intersects(const DynamicBitset& a,
-                         const DynamicBitset& b) noexcept;
+  static bool intersects(BitsetView a, BitsetView b) noexcept {
+    return BitsetView::intersects(a, b);
+  }
 
   /// Population count of (a AND b) without materializing it.
-  static std::size_t count_and(const DynamicBitset& a,
-                               const DynamicBitset& b) noexcept;
+  static std::size_t count_and(BitsetView a, BitsetView b) noexcept {
+    return BitsetView::count_and(a, b);
+  }
 
   /// --- comparisons -------------------------------------------------------
   bool operator==(const DynamicBitset& other) const noexcept {
@@ -142,13 +141,21 @@ class DynamicBitset {
   }
 
   /// True iff every set bit of this is also set in \p other.
-  [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const noexcept;
+  [[nodiscard]] bool is_subset_of(BitsetView other) const noexcept;
 
   /// --- raw access ---------------------------------------------------------
   [[nodiscard]] std::span<const Word> words() const noexcept {
     return words_;
   }
   [[nodiscard]] std::span<Word> words() noexcept { return words_; }
+
+  /// Non-owning view of this bitset (valid until the next resize or
+  /// reallocation).  The implicit conversion lets DynamicBitsets flow into
+  /// every view-based kernel unchanged.
+  [[nodiscard]] BitsetView view() const noexcept {
+    return BitsetView(words_.data(), nbits_);
+  }
+  operator BitsetView() const noexcept { return view(); }  // NOLINT
 
   /// "0110..." rendering (bit 0 first), for debugging and tests.
   [[nodiscard]] std::string to_string() const;

@@ -6,20 +6,32 @@
 // followed by clique-based analysis of the resulting relationship graph.
 // This tool exposes that chain end to end, plus the individual stages, so a
 // run can start from synthetic expression data, a saved graph file, or a
-// generated random ensemble.
+// generated random ensemble.  Graphs live in text formats, a legacy binary
+// stream, or the out-of-core `.gsbg` container: the latter is memory-mapped
+// and analyzed directly off disk, never loaded.
 //
 //   $ gsb pipeline --genes 800 --samples 60 --threshold 0.70 --threads 4
+//   $ gsb pipeline --out-of-core --genes 20000 --graph-out big.gsbg
+//   $ gsb pipeline --graph-file big.gsbg --threads 8
 //   $ gsb cliques graph.clq --min 4 --threads 8 --count-only
 //   $ gsb maximum graph.clq
 //   $ gsb generate --kind modules --n 2000 --out graph.clq
+//   $ gsb convert graph.clq graph.gsbg --degree-sort --wah
+//   $ gsb info graph.gsbg --verify
+//   $ cat graph.clq | gsb cliques - --min 5
 //   $ gsb --help
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "bitset/dynamic_bitset.h"
 
 #include "analysis/clique_stats.h"
 #include "analysis/hubs.h"
@@ -27,14 +39,20 @@
 #include "bio/correlation.h"
 #include "bio/generator.h"
 #include "bio/normalize.h"
+#include "bio/tiled_correlation.h"
 #include "core/clique.h"
 #include "core/clique_enumerator.h"
 #include "core/maximum_clique.h"
 #include "core/parallel_enumerator.h"
 #include "graph/generators.h"
+#include "graph/graph_view.h"
 #include "graph/io.h"
+#include "graph/transforms.h"
+#include "storage/gsbg_writer.h"
+#include "storage/mapped_graph.h"
 #include "util/cli.h"
 #include "util/log.h"
+#include "util/memory_tracker.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -55,15 +73,24 @@ commands:
   cliques    enumerate maximal cliques of a graph file
   maximum    exact maximum clique of a graph file
   generate   synthesize a graph file (G(n,p) or planted modules)
+  convert    re-encode a graph (including to/from the .gsbg container)
+  info       describe a graph file (.gsbg: header, sections, integrity)
   help       this text
+
+graph inputs: DIMACS (.clq/.dimacs), edge list, legacy binary (.bin), or
+the mappable .gsbg container.  Text formats also read from stdin via "-".
+.gsbg graphs are memory-mapped and analyzed off disk, not loaded.
 
 pipeline flags:
   --genes N --samples S     synthetic microarray shape   (800 x 60)
   --modules M               planted co-regulated modules (genes/40)
   --method pearson|spearman correlation method           (spearman)
   --threshold T             edge iff |corr| >= T         (0.70)
-  --target-edges E          pick threshold for ~E edges  (off)
-  --graph FILE              skip expression stages, load graph instead
+  --target-edges E          pick threshold for ~E edges  (off, in-core only)
+  --graph-file FILE         skip expression stages, use graph (mmap for .gsbg)
+  --out-of-core             tiled correlation -> .gsbg -> mmap'd analysis
+  --tile-rows R             tile budget for --out-of-core (512)
+  --graph-out FILE          where --out-of-core writes its .gsbg
   --init-k K --max-k K      enumeration size window      (4, unbounded)
   --threads P               worker threads, 0 = cores, 1 = sequential (0)
   --glom G                  paraclique non-neighbor allowance (1)
@@ -72,40 +99,83 @@ pipeline flags:
   --seed X                  RNG seed                     (2005)
   --csv PREFIX              also write PREFIX_*.csv tables
 
-cliques flags: <file> [--format dimacs|edges|binary] [--min K] [--max K]
-               [--threads P] [--count-only] [--progress]
-maximum flags: <file> [--format dimacs|edges|binary]
+cliques flags: <file|-> [--format dimacs|edges|binary|gsbg] [--min K]
+               [--max K] [--threads P] [--count-only] [--progress]
+maximum flags: <file|-> [--format F]
 generate flags: --kind gnp|modules --n N [--p P | --edges E] --out FILE
-                [--seed X] [--format dimacs|edges|binary]
+                [--seed X] [--format F]
+convert flags: <in> <out> [--in-format F] [--format F]
+               [--degree-sort] [--wah] [--no-bitmap]    (.gsbg outputs)
+info flags:    <file> [--format F] [--verify]
 
 Every flag can also be set through the environment as GSB_<NAME>.
 )");
   return out == stdout ? 0 : 2;
 }
 
-/// Explicit --format value, or sniffed from the path extension.
-std::string detect_format(const std::string& path, const std::string& format) {
-  if (!format.empty()) return format;
-  if (path.ends_with(".clq") || path.ends_with(".dimacs")) return "dimacs";
-  if (path.ends_with(".bin") || path.ends_with(".gsbg")) return "binary";
-  return "edges";
+/// A graph ready for analysis: either owned in memory or memory-mapped from
+/// a .gsbg container.  `view` stays valid across moves (it points into
+/// heap/mapped storage, not into this struct).
+struct GraphInput {
+  graph::Graph owned;
+  storage::MappedGraph mapped;
+  bool use_mapped = false;
+  graph::GraphView view;
+
+  [[nodiscard]] std::size_t order() const noexcept { return view.order(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return view.num_edges();
+  }
+
+  /// Maps a stored vertex id back to the original labeling (identity unless
+  /// the container is degree-sorted — also when the container lacked a
+  /// bitmap and was loaded from its CSR).
+  [[nodiscard]] graph::VertexId original_id(graph::VertexId v) const {
+    if (mapped.is_open() && !mapped.permutation().empty()) {
+      return mapped.permutation()[v];
+    }
+    return v;
+  }
+};
+
+GraphInput adopt_graph(graph::Graph g) {
+  GraphInput input;
+  input.owned = std::move(g);
+  input.view = graph::GraphView(input.owned);
+  return input;
 }
 
-graph::Graph load_graph(const std::string& path, const std::string& format) {
-  const std::string kind = detect_format(path, format);
-  if (kind == "dimacs") return graph::read_dimacs_file(path);
-  if (kind == "binary") return graph::read_binary_file(path);
-  if (kind == "edges") return graph::read_edge_list_file(path);
-  throw std::runtime_error("unknown format '" + kind + "'");
+GraphInput adopt_mapped(storage::MappedGraph mapped) {
+  GraphInput input;
+  input.mapped = std::move(mapped);  // kept either way: owns the permutation
+  if (input.mapped.has_bitmap()) {
+    input.use_mapped = true;
+    input.view = input.mapped.view();
+  } else {
+    // Compact container without the mappable section: load the CSR.
+    input.owned = input.mapped.load();
+    input.view = graph::GraphView(input.owned);
+  }
+  return input;
 }
 
-void save_graph(const graph::Graph& g, const std::string& path,
-                const std::string& format, const std::string& comment) {
-  const std::string kind = detect_format(path, format);
-  if (kind == "dimacs") return graph::write_dimacs_file(g, path, comment);
-  if (kind == "binary") return graph::write_binary_file(g, path);
-  if (kind == "edges") return graph::write_edge_list_file(g, path);
-  throw std::runtime_error("unknown format '" + kind + "'");
+/// The one loader every command funnels through: dispatches .gsbg to the
+/// mmap path, everything else (files or stdin "-") to graph::load_graph.
+GraphInput load_input(const std::string& path, const std::string& format) {
+  if (graph::detect_graph_format(path, format) == "gsbg") {
+    return adopt_mapped(storage::MappedGraph::open(path));
+  }
+  return adopt_graph(graph::load_graph(path, format));
+}
+
+void save_output(const graph::Graph& g, const std::string& path,
+                 const std::string& format, const std::string& comment,
+                 const storage::GsbgWriteOptions& gsbg_options = {}) {
+  if (graph::detect_graph_format(path, format) == "gsbg") {
+    storage::write_gsbg_file(g, path, gsbg_options);
+    return;
+  }
+  graph::save_graph(g, path, format, comment);
 }
 
 /// Non-negative integer flag; rejects `--threads -1`-style values instead of
@@ -121,7 +191,7 @@ std::size_t size_flag(const util::Cli& cli, const std::string& name,
 }
 
 /// Runs the enumerator (sequential when threads == 1) and collects cliques.
-core::EnumerationStats enumerate(const graph::Graph& g,
+core::EnumerationStats enumerate(const graph::GraphView& g,
                                  const core::SizeRange& range,
                                  std::size_t threads,
                                  const core::CliqueCallback& sink) {
@@ -142,6 +212,36 @@ void warn_unqueried(const util::Cli& cli) {
   }
 }
 
+/// Memory summary: the tracker's structure-level accounting next to the
+/// OS-reported peak RSS — the numbers an out-of-core run quotes to prove
+/// bounded memory.
+void print_memory_summary(const std::string& csv,
+                          std::size_t ooc_peak_bytes = 0) {
+  const util::MemoryTracker& tracker = util::global_memory_tracker();
+  util::TableWriter table({"memory", "bytes", "human"});
+  auto row = [&](const char* label, std::size_t bytes) {
+    table.add_row({label, util::format("%zu", bytes),
+                   util::format_bytes(bytes).c_str()});
+  };
+  for (unsigned t = 0; t < static_cast<unsigned>(util::MemTag::kNumTags);
+       ++t) {
+    const auto tag = static_cast<util::MemTag>(t);
+    const std::size_t bytes = tracker.current(tag);
+    if (bytes != 0) {
+      row(util::format("tracked %s",
+                       std::string(util::MemoryTracker::tag_name(tag)).c_str())
+              .c_str(),
+          bytes);
+    }
+  }
+  row("tracked peak", tracker.peak());
+  if (ooc_peak_bytes != 0) row("out-of-core build peak", ooc_peak_bytes);
+  row("process peak rss", util::process_peak_rss_bytes());
+  std::printf("memory:\n");
+  table.print();
+  if (!csv.empty()) table.write_csv(csv + "_memory.csv");
+}
+
 // --- gsb pipeline -----------------------------------------------------------
 
 int cmd_pipeline(const util::Cli& cli) {
@@ -154,15 +254,20 @@ int cmd_pipeline(const util::Cli& cli) {
   const std::string csv = cli.get("csv", "");
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 2005)));
 
-  // --- stage 1-3: expression -> normalize -> thresholded correlation graph,
-  // or a graph file when --graph is given.
-  graph::Graph g;
+  // --- stage 1-3: expression -> normalize -> thresholded correlation graph.
+  // Three routes: a graph file (mmap'd when .gsbg), the in-core builder, or
+  // the tiled out-of-core builder (bounded memory at any gene count).
+  GraphInput input;
   double threshold_used = 0.0;
-  if (cli.has("graph")) {
-    g = load_graph(cli.get("graph", ""), cli.get("format", ""));
+  std::size_t ooc_peak_bytes = 0;
+  const std::string graph_file =
+      cli.has("graph-file") ? cli.get("graph-file", "") : cli.get("graph", "");
+  if (!graph_file.empty()) {
+    input = load_input(graph_file, cli.get("format", ""));
     threshold_used = cli.get_double("threshold", 0.0);
-    std::printf("graph: loaded %zu vertices, %zu edges (density %.3f%%)\n",
-                g.order(), g.num_edges(), 100.0 * g.density());
+    std::printf("graph: %s %zu vertices, %zu edges (density %.3f%%)\n",
+                input.use_mapped ? "mapped" : "loaded", input.order(),
+                input.num_edges(), 100.0 * input.view.density());
   } else {
     const auto genes = size_flag(cli, "genes", 800);
     const auto samples = size_flag(cli, "samples", 60);
@@ -175,28 +280,62 @@ int cmd_pipeline(const util::Cli& cli) {
     std::printf("microarray: %zu probes x %zu arrays, %zu planted modules\n",
                 data.expression.genes(), data.expression.samples(),
                 data.modules.size());
-
     bio::quantile_normalize(data.expression);
-    bio::CorrelationGraphOptions graph_options;
-    graph_options.method = cli.get("method", "spearman") == "pearson"
-                               ? bio::CorrelationMethod::kPearson
-                               : bio::CorrelationMethod::kSpearman;
-    graph_options.threshold = cli.get_double("threshold", 0.70);
-    graph_options.target_edges =
-        size_flag(cli, "target-edges", 0);
-    auto built = bio::build_correlation_graph(data.expression, graph_options,
-                                              rng);
-    g = std::move(built.graph);
-    threshold_used = built.threshold_used;
-    std::printf(
-        "correlation graph: |rho| >= %.3f -> %zu edges (density %.3f%%)\n",
-        threshold_used, g.num_edges(), 100.0 * g.density());
+
+    const bool spearman = cli.get("method", "spearman") != "pearson";
+    if (cli.get_bool("out-of-core", false)) {
+      bio::TiledCorrelationOptions tiled;
+      tiled.method = spearman ? bio::CorrelationMethod::kSpearman
+                              : bio::CorrelationMethod::kPearson;
+      tiled.threshold = cli.get_double("threshold", 0.70);
+      tiled.tile_rows = size_flag(cli, "tile-rows", 512);
+      std::string out_path = cli.get("graph-out", "");
+      const bool keep_graph = !out_path.empty();
+      if (!keep_graph) {
+        // Unique per run: concurrent pipelines must not clobber each
+        // other's container or its derived .std/.edges scratch files.
+        std::random_device entropy;
+        out_path = (std::filesystem::temp_directory_path() /
+                    util::format("gsb_pipeline_%08x%08x.gsbg", entropy(),
+                                 entropy()))
+                       .string();
+      }
+      const auto built =
+          bio::build_correlation_gsbg(data.expression, out_path, tiled);
+      data.expression = bio::ExpressionMatrix();  // drop before analysis
+      input = adopt_mapped(storage::MappedGraph::open(out_path));
+      if (!keep_graph) {
+        std::error_code ec;  // unlinked; the mapping stays valid
+        std::filesystem::remove(out_path, ec);
+      }
+      threshold_used = built.threshold_used;
+      ooc_peak_bytes = built.peak_tracked_bytes;
+      std::printf(
+          "correlation graph (out-of-core, %zu tiles of %zu rows): "
+          "|rho| >= %.3f -> %zu edges (build peak %s)\n",
+          built.tiles, tiled.tile_rows, threshold_used, input.num_edges(),
+          util::format_bytes(built.peak_tracked_bytes).c_str());
+    } else {
+      bio::CorrelationGraphOptions graph_options;
+      graph_options.method = spearman ? bio::CorrelationMethod::kSpearman
+                                      : bio::CorrelationMethod::kPearson;
+      graph_options.threshold = cli.get_double("threshold", 0.70);
+      graph_options.target_edges = size_flag(cli, "target-edges", 0);
+      auto built = bio::build_correlation_graph(data.expression,
+                                                graph_options, rng);
+      input = adopt_graph(std::move(built.graph));
+      threshold_used = built.threshold_used;
+      std::printf(
+          "correlation graph: |rho| >= %.3f -> %zu edges (density %.3f%%)\n",
+          threshold_used, input.num_edges(), 100.0 * input.view.density());
+    }
   }
   warn_unqueried(cli);
-  if (g.order() == 0) {
+  if (input.order() == 0) {
     std::fprintf(stderr, "error: empty graph, nothing to analyze\n");
     return 1;
   }
+  const graph::GraphView& g = input.view;
 
   // --- stage 4: maximum clique fixes the enumeration upper bound (§2.1).
   const auto max_result = core::maximum_clique(g);
@@ -246,31 +385,40 @@ int cmd_pipeline(const util::Cli& cli) {
   para_table.print();
   if (!csv.empty()) para_table.write_csv(csv + "_paracliques.csv");
 
-  // --- stage 7: hub report (the paper's Lin7c-style analysis).
+  // --- stage 7: hub report (the paper's Lin7c-style analysis).  Vertex ids
+  // are reported in the original labeling even for degree-sorted containers.
   const auto hubs = analysis::top_hubs(g, cliques, hub_count);
   util::TableWriter hub_table({"rank", "vertex", "degree", "cliques"});
   for (std::size_t i = 0; i < hubs.size(); ++i) {
     hub_table.add_row({util::format("%zu", i + 1),
-                       util::format("%u", hubs[i].vertex),
+                       util::format("%u", input.original_id(hubs[i].vertex)),
                        util::format("%zu", hubs[i].degree),
                        util::format("%u", hubs[i].clique_participation)});
   }
   std::printf("top %zu hub vertices:\n", hubs.size());
   hub_table.print();
   if (!csv.empty()) hub_table.write_csv(csv + "_hubs.csv");
+
+  print_memory_summary(csv, ooc_peak_bytes);
   return 0;
 }
 
 // --- gsb cliques ------------------------------------------------------------
 
 int cmd_cliques(const util::Cli& cli) {
-  if (cli.positional().size() < 2) {
-    std::fprintf(stderr, "usage: gsb cliques <graph-file> [flags]\n");
+  std::string path = cli.get("graph-file", "");
+  if (path.empty() && cli.positional().size() >= 2) {
+    path = cli.positional()[1];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: gsb cliques <graph-file|-> [flags]\n");
     return 2;
   }
-  graph::Graph g = load_graph(cli.positional()[1], cli.get("format", ""));
-  std::fprintf(stderr, "loaded %zu vertices, %zu edges (density %.3f%%)\n",
-               g.order(), g.num_edges(), 100.0 * g.density());
+  GraphInput input = load_input(path, cli.get("format", ""));
+  const graph::GraphView& g = input.view;
+  std::fprintf(stderr, "%s %zu vertices, %zu edges (density %.3f%%)\n",
+               input.use_mapped ? "mapped" : "loaded", g.order(),
+               g.num_edges(), 100.0 * g.density());
 
   const core::SizeRange range{
       size_flag(cli, "min", 3),
@@ -284,12 +432,18 @@ int cmd_cliques(const util::Cli& cli) {
 
   core::CliqueCounter counter;
   auto counting = counter.callback();
+  std::vector<graph::VertexId> members;
   const core::CliqueCallback sink =
       [&](std::span<const graph::VertexId> clique) {
         counting(clique);
         if (!count_only) {
-          for (std::size_t i = 0; i < clique.size(); ++i) {
-            std::printf("%s%u", i ? " " : "", clique[i]);
+          // Translate to original labels, then restore ascending order
+          // (the degree-sort permutation scrambles it).
+          members.assign(clique.begin(), clique.end());
+          for (auto& v : members) v = input.original_id(v);
+          std::sort(members.begin(), members.end());
+          for (std::size_t i = 0; i < members.size(); ++i) {
+            std::printf("%s%u", i ? " " : "", members[i]);
           }
           std::printf("\n");
         }
@@ -313,19 +467,29 @@ int cmd_cliques(const util::Cli& cli) {
 // --- gsb maximum ------------------------------------------------------------
 
 int cmd_maximum(const util::Cli& cli) {
-  if (cli.positional().size() < 2) {
-    std::fprintf(stderr, "usage: gsb maximum <graph-file> [--format F]\n");
+  std::string path = cli.get("graph-file", "");
+  if (path.empty() && cli.positional().size() >= 2) {
+    path = cli.positional()[1];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: gsb maximum <graph-file|-> [--format F]\n");
     return 2;
   }
-  graph::Graph g = load_graph(cli.positional()[1], cli.get("format", ""));
+  GraphInput input = load_input(path, cli.get("format", ""));
   warn_unqueried(cli);
-  const auto result = core::maximum_clique(g);
+  const auto result = core::maximum_clique(input.view);
   std::printf("maximum clique: %zu vertices (%llu nodes, %s)\n",
               result.clique.size(),
               static_cast<unsigned long long>(result.tree_nodes),
               util::format_seconds(result.seconds).c_str());
-  for (std::size_t i = 0; i < result.clique.size(); ++i) {
-    std::printf("%s%u", i ? " " : "", result.clique[i]);
+  std::vector<graph::VertexId> members;
+  members.reserve(result.clique.size());
+  for (const graph::VertexId v : result.clique) {
+    members.push_back(input.original_id(v));
+  }
+  std::sort(members.begin(), members.end());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    std::printf("%s%u", i ? " " : "", members[i]);
   }
   std::printf("\n");
   return 0;
@@ -371,9 +535,156 @@ int cmd_generate(const util::Cli& cli) {
     return 2;
   }
   warn_unqueried(cli);
-  save_graph(g, out, cli.get("format", ""), comment);
-  std::printf("wrote %s: %zu vertices, %zu edges (density %.3f%%)\n",
-              out.c_str(), g.order(), g.num_edges(), 100.0 * g.density());
+  save_output(g, out, cli.get("format", ""), comment);
+  // Keep stdout clean when it carries the graph itself.
+  std::fprintf(out == "-" ? stderr : stdout,
+               "wrote %s: %zu vertices, %zu edges (density %.3f%%)\n",
+               out.c_str(), g.order(), g.num_edges(), 100.0 * g.density());
+  return 0;
+}
+
+// --- gsb convert ------------------------------------------------------------
+
+int cmd_convert(const util::Cli& cli) {
+  if (cli.positional().size() < 3) {
+    std::fprintf(stderr,
+                 "usage: gsb convert <in> <out> [--in-format F] "
+                 "[--format F] [--degree-sort] [--wah] [--no-bitmap]\n");
+    return 2;
+  }
+  const std::string in_path = cli.positional()[1];
+  const std::string out_path = cli.positional()[2];
+  storage::GsbgWriteOptions gsbg_options;
+  gsbg_options.degree_sort = cli.get_bool("degree-sort", false);
+  gsbg_options.wah = cli.get_bool("wah", false);
+  gsbg_options.bitmap = !cli.get_bool("no-bitmap", false);
+  const std::string in_format = cli.get("in-format", "");
+  const std::string out_format = cli.get("format", "");
+  warn_unqueried(cli);
+
+  GraphInput input = load_input(in_path, in_format);
+  const std::size_t order = input.order();
+  const std::size_t edges = input.num_edges();
+
+  // A degree-sorted source stores relabeled vertices; restore the original
+  // labels before re-encoding so conversions never silently relabel (a new
+  // --degree-sort on the output re-sorts from the originals).
+  graph::Graph unpermuted;
+  bool have_unpermuted = false;
+  if (input.mapped.is_open() && !input.mapped.permutation().empty()) {
+    const auto perm = input.mapped.permutation();
+    std::vector<graph::VertexId> inverse(perm.size());
+    for (graph::VertexId stored = 0; stored < perm.size(); ++stored) {
+      inverse[perm[stored]] = stored;
+    }
+    // A bitmap-less container was already materialized into input.owned by
+    // adopt_mapped; reuse it rather than rebuilding from the CSR.
+    unpermuted = graph::relabel(input.use_mapped ? input.mapped.load()
+                                                 : std::move(input.owned),
+                                inverse);
+    have_unpermuted = true;
+  }
+
+  if (graph::detect_graph_format(out_path, out_format) == "gsbg") {
+    if (have_unpermuted) {
+      storage::write_gsbg_file(unpermuted, out_path, gsbg_options);
+    } else {
+      storage::write_gsbg_file(input.view, out_path, gsbg_options);
+    }
+  } else {
+    // Materializes when the source was mapped; text/legacy formats need an
+    // in-memory graph.
+    const graph::Graph owned = have_unpermuted ? std::move(unpermuted)
+                               : input.use_mapped
+                                   ? input.mapped.load()
+                                   : std::move(input.owned);
+    graph::save_graph(owned, out_path, out_format,
+                      "converted from " + in_path);
+  }
+  if (out_path == "-") {
+    std::fprintf(stderr, "wrote %zu vertices, %zu edges to stdout\n", order,
+                 edges);
+  } else {
+    const auto bytes = std::filesystem::file_size(out_path);
+    std::printf("wrote %s: %zu vertices, %zu edges, %s\n", out_path.c_str(),
+                order, edges, util::format_bytes(bytes).c_str());
+  }
+  return 0;
+}
+
+// --- gsb info ---------------------------------------------------------------
+
+int cmd_info(const util::Cli& cli) {
+  if (cli.positional().size() < 2) {
+    std::fprintf(stderr, "usage: gsb info <file> [--format F] [--verify]\n");
+    return 2;
+  }
+  const std::string path = cli.positional()[1];
+  const std::string format = cli.get("format", "");
+  const bool verify = cli.get_bool("verify", false);
+  warn_unqueried(cli);
+
+  if (graph::detect_graph_format(path, format) != "gsbg") {
+    const graph::Graph g = graph::load_graph(path, format);
+    std::printf("%s: %zu vertices, %zu edges (density %.3f%%), max degree "
+                "%zu\n",
+                path.c_str(), g.order(), g.num_edges(), 100.0 * g.density(),
+                g.max_degree());
+    return 0;
+  }
+
+  storage::MappedGraph::Options options;
+  options.verify_checksum = verify;
+  const auto mapped = storage::MappedGraph::open(path, options);
+  std::printf("%s: gsbg v%u, %zu vertices, %zu edges (density %.3f%%)\n",
+              path.c_str(), mapped.header().version, mapped.order(),
+              mapped.num_edges(), 100.0 * mapped.density());
+  std::printf("file: %s, checksum %016llx%s, %s\n",
+              util::format_bytes(mapped.file_bytes()).c_str(),
+              static_cast<unsigned long long>(mapped.header().checksum),
+              verify ? " (verified)" : "",
+              mapped.degree_sorted() ? "degree-sorted" : "original order");
+
+  util::TableWriter table({"section", "bytes", "human"});
+  auto section_name = [](storage::SectionKind kind) {
+    switch (kind) {
+      case storage::SectionKind::kCsrOffsets: return "csr offsets";
+      case storage::SectionKind::kCsrTargets: return "csr targets";
+      case storage::SectionKind::kBitmap: return "bitmap adjacency";
+      case storage::SectionKind::kWahOffsets: return "wah offsets";
+      case storage::SectionKind::kWahWords: return "wah words";
+      case storage::SectionKind::kPermutation: return "permutation";
+    }
+    return "?";
+  };
+  for (const auto& section : mapped.sections()) {
+    table.add_row({section_name(section.kind),
+                   util::format("%llu",
+                                static_cast<unsigned long long>(section.size)),
+                   util::format_bytes(section.size).c_str()});
+  }
+  table.print();
+
+  if (mapped.has_wah()) {
+    // Compression ratio of the WAH sections against the bitmap equivalent.
+    const std::size_t bitmap_bytes =
+        mapped.order() *
+        bits::DynamicBitset::word_count(mapped.order()) *
+        sizeof(std::uint64_t);
+    std::size_t wah_bytes = 0;
+    for (const auto& section : mapped.sections()) {
+      if (section.kind == storage::SectionKind::kWahWords) {
+        wah_bytes = section.size;
+      }
+    }
+    if (wah_bytes > 0) {
+      std::printf("wah compression: %.1fx (bitmap %s -> %s)\n",
+                  static_cast<double>(bitmap_bytes) /
+                      static_cast<double>(wah_bytes),
+                  util::format_bytes(bitmap_bytes).c_str(),
+                  util::format_bytes(wah_bytes).c_str());
+    }
+  }
   return 0;
 }
 
@@ -389,6 +700,8 @@ int main(int argc, char** argv) {
     if (command == "cliques") return cmd_cliques(cli);
     if (command == "maximum") return cmd_maximum(cli);
     if (command == "generate") return cmd_generate(cli);
+    if (command == "convert") return cmd_convert(cli);
+    if (command == "info") return cmd_info(cli);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -15,7 +15,7 @@ using detail::MappedSink;
 using graph::VertexId;
 
 EnumerationStats enumerate_maximal_cliques(
-    const graph::Graph& g, const CliqueCallback& sink,
+    const graph::GraphView& g, const CliqueCallback& sink,
     const CliqueEnumeratorOptions& options) {
   util::Timer total_timer;
   EnumerationStats stats;
@@ -49,19 +49,19 @@ EnumerationStats enumerate_maximal_cliques(
   // Vertices of a clique of size >= seed_k have >= seed_k - 1 neighbors
   // inside it, so the iterated (seed_k - 1)-core contains every such clique
   // and every witness to (non-)maximality of cliques at or above the seed.
-  const graph::Graph* work = &g;
+  graph::GraphView work = g;
   graph::InducedSubgraph reduced;
   const std::vector<VertexId>* mapping = nullptr;
   if (options.use_kcore && seed_k >= 2) {
     reduced = graph::kcore_subgraph(g, seed_k - 1);
     if (reduced.graph.order() < g.order()) {
-      work = &reduced.graph;
+      work = graph::GraphView(reduced.graph);
       mapping = &reduced.mapping;
     }
   }
 
   MappedSink mapped(sink, mapping);
-  const std::size_t n = work->order();
+  const std::size_t n = work.order();
 
   // --- seeding ---------------------------------------------------------------
   // Seed tasks are canonical 2-prefixes (edges) for Init_K >= 3, or root
@@ -75,13 +75,13 @@ EnumerationStats enumerate_maximal_cliques(
   };
   Level current;
   if (seed_k >= 3) {
-    const auto pairs = collect_seed_pairs(*work);
-    current = build_seed_level_for_pairs(*work, seed_k, pairs, seed_sink,
+    const auto pairs = collect_seed_pairs(work);
+    current = build_seed_level_for_pairs(work, seed_k, pairs, seed_sink,
                                          &seed_stats, seed_trace);
   } else {
     std::vector<VertexId> roots(n);
     for (VertexId v = 0; v < n; ++v) roots[v] = v;
-    current = build_seed_level_for_roots(*work, seed_k, roots, seed_sink,
+    current = build_seed_level_for_roots(work, seed_k, roots, seed_sink,
                                          &seed_stats, seed_trace);
   }
   stats.seed_seconds = seed_timer.seconds();
@@ -115,7 +115,7 @@ EnumerationStats enumerate_maximal_cliques(
       const std::uint64_t work_proxy = sublist.pair_work();
       util::Timer task_timer;
       const auto counters = detail::process_sublist(
-          *work, sublist,
+          work, sublist,
           [&](const std::vector<VertexId>& prefix, VertexId v, VertexId u) {
             mapped.emit_parts(prefix, v, u);
           },

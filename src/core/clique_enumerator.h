@@ -25,7 +25,7 @@
 
 #include "core/clique.h"
 #include "core/enumeration_stats.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/memory_tracker.h"
 
 namespace gsb::core {
@@ -54,8 +54,10 @@ struct CliqueEnumeratorOptions {
 
 /// Runs the sequential Clique Enumerator over \p g, streaming every maximal
 /// clique with size in the option range to \p sink (vertex ids are in g's
-/// namespace, sorted ascending).
-EnumerationStats enumerate_maximal_cliques(const graph::Graph& g,
+/// namespace, sorted ascending).  \p g is a GraphView, so the run works
+/// identically over an in-memory Graph (implicit conversion) or a
+/// memory-mapped .gsbg adjacency (storage::MappedGraph::view()).
+EnumerationStats enumerate_maximal_cliques(const graph::GraphView& g,
                                            const CliqueCallback& sink,
                                            const CliqueEnumeratorOptions&
                                                options = {});

@@ -16,7 +16,7 @@
 
 #include "bitset/dynamic_bitset.h"
 #include "core/sublist.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/memory_tracker.h"
 
 namespace gsb::core::detail {
@@ -93,9 +93,10 @@ class MemoryLedger {
 /// afterwards ("each k-clique sub-list is deleted after its (k+1)-cliques
 /// are generated"), with byte accounting against \p ledger.
 template <typename EmitFn>
-KernelCounters process_sublist(const graph::Graph& g, CliqueSublist& sublist,
-                               EmitFn&& emit_maximal, Level& next,
-                               BitsetPool& pool, MemoryLedger& ledger) {
+KernelCounters process_sublist(const graph::GraphView& g,
+                               CliqueSublist& sublist, EmitFn&& emit_maximal,
+                               Level& next, BitsetPool& pool,
+                               MemoryLedger& ledger) {
   using bits::DynamicBitset;
   KernelCounters counters;
   const std::size_t released_bytes = sublist.bytes();
@@ -103,7 +104,7 @@ KernelCounters process_sublist(const graph::Graph& g, CliqueSublist& sublist,
 
   for (std::size_t i = 0; i + 1 < tail_count; ++i) {
     const graph::VertexId v = sublist.tails[i];
-    const DynamicBitset& nv = g.neighbors(v);
+    const bits::BitsetView nv = g.neighbors(v);
 
     // Common neighbors of (prefix + v): one bitwise AND, per the paper's
     // incremental scheme — CommonNeighbors[S_{k+1}] =

@@ -20,7 +20,7 @@ using bits::DynamicBitset;
 /// canonical order" required for sub-list grouping.  Requires k >= 2.
 class KCliqueSearch {
  public:
-  KCliqueSearch(const graph::Graph& g, std::size_t k)
+  KCliqueSearch(const graph::GraphView& g, std::size_t k)
       : g_(g), k_(k), common_(k, DynamicBitset(g.order())) {
     assert(k >= 2);
     prefix_.reserve(k);
@@ -91,13 +91,13 @@ class KCliqueSearch {
     }
   }
 
-  const graph::Graph& g_;
+  const graph::GraphView g_;
   const std::size_t k_;
   std::vector<DynamicBitset> common_;
   Clique prefix_;
 };
 
-std::vector<VertexId> all_roots(const graph::Graph& g) {
+std::vector<VertexId> all_roots(const graph::GraphView& g) {
   std::vector<VertexId> roots(g.order());
   std::iota(roots.begin(), roots.end(), VertexId{0});
   return roots;
@@ -105,7 +105,7 @@ std::vector<VertexId> all_roots(const graph::Graph& g) {
 
 }  // namespace
 
-KCliqueStats enumerate_kcliques(const graph::Graph& g, std::size_t k,
+KCliqueStats enumerate_kcliques(const graph::GraphView& g, std::size_t k,
                                 const KCliqueCallback& sink) {
   KCliqueStats stats;
   if (k == 0) return stats;
@@ -144,7 +144,7 @@ KCliqueStats enumerate_kcliques(const graph::Graph& g, std::size_t k,
   return stats;
 }
 
-std::uint64_t count_kcliques(const graph::Graph& g, std::size_t k) {
+std::uint64_t count_kcliques(const graph::GraphView& g, std::size_t k) {
   if (k == 0) return 0;
   if (k == 1) return g.order();
   std::uint64_t count = 0;
@@ -170,7 +170,7 @@ namespace {
 /// prefix's sub-list).
 class SeedLevelBuilder {
  public:
-  SeedLevelBuilder(const graph::Graph& g, std::size_t k,
+  SeedLevelBuilder(const graph::GraphView& g, std::size_t k,
                    const CliqueCallback& maximal_sink)
       : g_(g), maximal_sink_(maximal_sink) {
     buf_.reserve(k);
@@ -207,7 +207,7 @@ class SeedLevelBuilder {
   Level take_level() noexcept { return std::move(level_); }
 
  private:
-  const graph::Graph& g_;
+  const graph::GraphView g_;
   const CliqueCallback& maximal_sink_;
   Clique buf_;
   Level level_;
@@ -216,7 +216,7 @@ class SeedLevelBuilder {
 
 }  // namespace
 
-Level build_seed_level_for_roots(const graph::Graph& g, std::size_t k,
+Level build_seed_level_for_roots(const graph::GraphView& g, std::size_t k,
                                  std::span<const VertexId> roots,
                                  const CliqueCallback& maximal_sink,
                                  KCliqueStats* stats_out, SeedTrace* trace) {
@@ -239,7 +239,7 @@ Level build_seed_level_for_roots(const graph::Graph& g, std::size_t k,
   return builder.take_level();
 }
 
-std::vector<SeedPair> collect_seed_pairs(const graph::Graph& g) {
+std::vector<SeedPair> collect_seed_pairs(const graph::GraphView& g) {
   std::vector<SeedPair> pairs;
   pairs.reserve(g.num_edges());
   for (const auto& [v, u] : g.edge_list()) {
@@ -248,7 +248,7 @@ std::vector<SeedPair> collect_seed_pairs(const graph::Graph& g) {
   return pairs;
 }
 
-Level build_seed_level_for_pairs(const graph::Graph& g, std::size_t k,
+Level build_seed_level_for_pairs(const graph::GraphView& g, std::size_t k,
                                  std::span<const SeedPair> pairs,
                                  const CliqueCallback& maximal_sink,
                                  KCliqueStats* stats_out, SeedTrace* trace) {
@@ -271,7 +271,7 @@ Level build_seed_level_for_pairs(const graph::Graph& g, std::size_t k,
   return builder.take_level();
 }
 
-Level build_seed_level(const graph::Graph& g, std::size_t k,
+Level build_seed_level(const graph::GraphView& g, std::size_t k,
                        const CliqueCallback& maximal_sink,
                        KCliqueStats* stats_out) {
   const std::vector<VertexId> roots = all_roots(g);
@@ -280,13 +280,13 @@ Level build_seed_level(const graph::Graph& g, std::size_t k,
 }
 
 struct SeedLevelWorker::Impl {
-  Impl(const graph::Graph& g, std::size_t k, const CliqueCallback& sink)
+  Impl(const graph::GraphView& g, std::size_t k, const CliqueCallback& sink)
       : builder(g, k, sink), search(g, k) {}
   SeedLevelBuilder builder;
   KCliqueSearch search;
 };
 
-SeedLevelWorker::SeedLevelWorker(const graph::Graph& g, std::size_t k,
+SeedLevelWorker::SeedLevelWorker(const graph::GraphView& g, std::size_t k,
                                  const CliqueCallback& maximal_sink)
     : impl_(std::make_unique<Impl>(g, k, maximal_sink)) {}
 

@@ -26,7 +26,7 @@
 #include "core/clique.h"
 #include "core/enumeration_stats.h"
 #include "core/sublist.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace gsb::core {
 
@@ -44,11 +44,11 @@ struct KCliqueStats {
 
 /// Enumerates every k-clique of \p g in canonical (lexicographic) order.
 /// \p k must be >= 1.
-KCliqueStats enumerate_kcliques(const graph::Graph& g, std::size_t k,
+KCliqueStats enumerate_kcliques(const graph::GraphView& g, std::size_t k,
                                 const KCliqueCallback& sink);
 
 /// Counts k-cliques without materializing them.
-std::uint64_t count_kcliques(const graph::Graph& g, std::size_t k);
+std::uint64_t count_kcliques(const graph::GraphView& g, std::size_t k);
 
 /// Builds the Clique Enumerator's seed level for clique size \p k (>= 2):
 /// every *non-maximal* k-clique becomes a tail in the sub-list of its
@@ -57,7 +57,7 @@ std::uint64_t count_kcliques(const graph::Graph& g, std::size_t k);
 /// k-clique is streamed to \p maximal_sink.
 ///
 /// \p stats (optional) receives the pass counters.
-Level build_seed_level(const graph::Graph& g, std::size_t k,
+Level build_seed_level(const graph::GraphView& g, std::size_t k,
                        const CliqueCallback& maximal_sink,
                        KCliqueStats* stats = nullptr);
 
@@ -65,7 +65,7 @@ Level build_seed_level(const graph::Graph& g, std::size_t k,
 /// \p roots (a clique's root is its smallest vertex), and optionally
 /// recording per-root costs into \p trace.  The union of the levels
 /// produced for a partition of [0, n) equals the unrestricted seed level.
-Level build_seed_level_for_roots(const graph::Graph& g, std::size_t k,
+Level build_seed_level_for_roots(const graph::GraphView& g, std::size_t k,
                                  std::span<const VertexId> roots,
                                  const CliqueCallback& maximal_sink,
                                  KCliqueStats* stats = nullptr,
@@ -81,12 +81,12 @@ struct SeedPair {
 };
 
 /// All canonical seed pairs of \p g in lexicographic order.
-std::vector<SeedPair> collect_seed_pairs(const graph::Graph& g);
+std::vector<SeedPair> collect_seed_pairs(const graph::GraphView& g);
 
 /// Seed-level construction over an explicit set of 2-prefix tasks
 /// (requires k >= 3).  The union over a partition of collect_seed_pairs(g)
 /// equals build_seed_level(g, k, ...).
-Level build_seed_level_for_pairs(const graph::Graph& g, std::size_t k,
+Level build_seed_level_for_pairs(const graph::GraphView& g, std::size_t k,
                                  std::span<const SeedPair> pairs,
                                  const CliqueCallback& maximal_sink,
                                  KCliqueStats* stats = nullptr,
@@ -99,7 +99,7 @@ Level build_seed_level_for_pairs(const graph::Graph& g, std::size_t k,
 class SeedLevelWorker {
  public:
   /// \p maximal_sink must outlive the worker.
-  SeedLevelWorker(const graph::Graph& g, std::size_t k,
+  SeedLevelWorker(const graph::GraphView& g, std::size_t k,
                   const CliqueCallback& maximal_sink);
   ~SeedLevelWorker();
   SeedLevelWorker(SeedLevelWorker&&) noexcept;

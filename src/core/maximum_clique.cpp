@@ -13,7 +13,7 @@ using bits::DynamicBitset;
 
 }  // namespace
 
-Clique greedy_clique_lower_bound(const graph::Graph& g, std::size_t seeds) {
+Clique greedy_clique_lower_bound(const graph::GraphView& g, std::size_t seeds) {
   const std::size_t n = g.order();
   if (n == 0) return {};
   std::vector<VertexId> by_degree(n);
@@ -50,7 +50,7 @@ Clique greedy_clique_lower_bound(const graph::Graph& g, std::size_t seeds) {
   return best;
 }
 
-std::size_t greedy_coloring_upper_bound(const graph::Graph& g) {
+std::size_t greedy_coloring_upper_bound(const graph::GraphView& g) {
   const std::size_t n = g.order();
   if (n == 0) return 0;
   std::vector<VertexId> order(n);
@@ -82,7 +82,7 @@ namespace {
 /// expanded in decreasing color order, pruning when |R| + color <= |best|.
 class MaxCliqueSearch {
  public:
-  explicit MaxCliqueSearch(const graph::Graph& g)
+  explicit MaxCliqueSearch(const graph::GraphView& g)
       : g_(g), n_(g.order()) {}
 
   MaxCliqueResult run() {
@@ -163,7 +163,7 @@ class MaxCliqueSearch {
     }
   }
 
-  const graph::Graph& g_;
+  const graph::GraphView g_;
   const std::size_t n_;
   Clique current_;
   Clique best_;
@@ -173,7 +173,7 @@ class MaxCliqueSearch {
 
 }  // namespace
 
-MaxCliqueResult maximum_clique(const graph::Graph& g) {
+MaxCliqueResult maximum_clique(const graph::GraphView& g) {
   MaxCliqueSearch search(g);
   return search.run();
 }

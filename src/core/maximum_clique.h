@@ -15,17 +15,17 @@
 #include <cstdint>
 
 #include "core/clique.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace gsb::core {
 
 /// Greedy lower bound: grows a clique from each of the highest-degree
 /// seeds; returns the best found (a valid clique, not necessarily maximum).
-Clique greedy_clique_lower_bound(const graph::Graph& g,
+Clique greedy_clique_lower_bound(const graph::GraphView& g,
                                  std::size_t seeds = 8);
 
 /// Greedy (Welsh–Powell) coloring upper bound: chi_greedy >= omega.
-std::size_t greedy_coloring_upper_bound(const graph::Graph& g);
+std::size_t greedy_coloring_upper_bound(const graph::GraphView& g);
 
 /// Exact maximum clique result.
 struct MaxCliqueResult {
@@ -37,7 +37,7 @@ struct MaxCliqueResult {
 /// Exact maximum clique by branch-and-bound with greedy-coloring pruning
 /// (Tomita-style).  Exponential worst case; effective on the sparse
 /// correlation graphs this framework targets.
-MaxCliqueResult maximum_clique(const graph::Graph& g);
+MaxCliqueResult maximum_clique(const graph::GraphView& g);
 
 }  // namespace gsb::core
 

@@ -30,7 +30,7 @@ struct WorkerOutput {
 }  // namespace
 
 ParallelEnumerationStats enumerate_maximal_cliques_parallel(
-    const graph::Graph& g, const CliqueCallback& sink,
+    const graph::GraphView& g, const CliqueCallback& sink,
     const ParallelOptions& options) {
   util::Timer total_timer;
   ParallelEnumerationStats pstats;
@@ -66,18 +66,18 @@ ParallelEnumerationStats enumerate_maximal_cliques_parallel(
   }
 
   // --- degree preprocessing (identical to the sequential driver) ----------
-  const graph::Graph* work = &g;
+  graph::GraphView work = g;
   graph::InducedSubgraph reduced;
   const std::vector<VertexId>* mapping = nullptr;
   if (options.use_kcore && seed_k >= 2) {
     reduced = graph::kcore_subgraph(g, seed_k - 1);
     if (reduced.graph.order() < g.order()) {
-      work = &reduced.graph;
+      work = graph::GraphView(reduced.graph);
       mapping = &reduced.mapping;
     }
   }
   MappedSink mapped(sink, mapping);
-  const std::size_t n = work->order();
+  const std::size_t n = work.order();
 
   par::ThreadPool pool(num_threads);
   par::LoadBalancer balancer(options.balancer);
@@ -99,19 +99,19 @@ ParallelEnumerationStats enumerate_maximal_cliques_parallel(
     std::vector<SeedPair> pairs;
     std::vector<std::uint64_t> costs;
     if (pair_seed) {
-      pairs = collect_seed_pairs(*work);
+      pairs = collect_seed_pairs(work);
       costs.resize(pairs.size());
       bits::DynamicBitset scratch(n);
       for (std::size_t i = 0; i < pairs.size(); ++i) {
-        scratch.assign_and(work->neighbors(pairs[i].v),
-                           work->neighbors(pairs[i].u));
+        scratch.assign_and(work.neighbors(pairs[i].v),
+                           work.neighbors(pairs[i].u));
         const std::uint64_t cand = scratch.count_from(pairs[i].u + 1);
         costs[i] = cand * cand * cand / 6 + cand + 1;
       }
     } else {
       costs.resize(n);
       for (VertexId v = 0; v < n; ++v) {
-        const std::uint64_t d = work->degree(v);
+        const std::uint64_t d = work.degree(v);
         costs[v] = d * d + 1;
       }
     }
@@ -136,7 +136,7 @@ ParallelEnumerationStats enumerate_maximal_cliques_parallel(
       const CliqueCallback local_sink = [&](std::span<const VertexId> clique) {
         out.emitted.insert(out.emitted.end(), clique.begin(), clique.end());
       };
-      SeedLevelWorker worker(*work, seed_k, local_sink);
+      SeedLevelWorker worker(work, seed_k, local_sink);
       std::int64_t task;
       while ((task = claims.next(tid)) >= 0) {
         const auto index = static_cast<std::size_t>(task);
@@ -220,7 +220,7 @@ ParallelEnumerationStats enumerate_maximal_cliques_parallel(
         CliqueSublist& sublist = current[task];
         const std::uint64_t work_proxy = sublist.pair_work();
         const auto counters = detail::process_sublist(
-            *work, sublist,
+            work, sublist,
             [&](const std::vector<VertexId>& prefix, VertexId v, VertexId u) {
               out.emitted.insert(out.emitted.end(), prefix.begin(),
                                  prefix.end());

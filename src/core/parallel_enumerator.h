@@ -22,7 +22,7 @@
 #include "core/clique.h"
 #include "core/clique_enumerator.h"
 #include "core/enumeration_stats.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "parallel/load_balancer.h"
 
 namespace gsb::core {
@@ -67,7 +67,7 @@ struct ParallelEnumerationStats {
 /// \p sink from the scheduler thread between levels (the sink itself is
 /// never invoked concurrently).
 ParallelEnumerationStats enumerate_maximal_cliques_parallel(
-    const graph::Graph& g, const CliqueCallback& sink,
+    const graph::GraphView& g, const CliqueCallback& sink,
     const ParallelOptions& options = {});
 
 }  // namespace gsb::core

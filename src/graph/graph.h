@@ -66,6 +66,11 @@ class Graph {
     return degrees_[v];
   }
 
+  /// Flat degree array (n entries) — the backing store GraphView borrows.
+  [[nodiscard]] const std::size_t* degrees_data() const noexcept {
+    return degrees_.data();
+  }
+
   /// Maximum degree over all vertices (0 for the empty graph).
   [[nodiscard]] std::size_t max_degree() const noexcept;
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -179,6 +180,75 @@ void write_binary(const Graph& g, std::ostream& out) {
 void write_binary_file(const Graph& g, const std::string& path) {
   auto out = open_out(path, std::ios::binary);
   write_binary(g, out);
+}
+
+std::string detect_graph_format(const std::string& path,
+                                const std::string& format) {
+  if (!format.empty()) return format;
+  if (path.ends_with(".clq") || path.ends_with(".dimacs")) return "dimacs";
+  if (path.ends_with(".bin")) return "binary";
+  if (path.ends_with(".gsbg")) return "gsbg";
+  if (path == "-") return "";  // sniffed from content
+  return "edges";
+}
+
+namespace {
+
+/// DIMACS vs edge-list sniff for streams without a telling filename: the
+/// first non-blank line of a DIMACS file starts with 'c' or 'p'.
+Graph read_text_sniffed(std::istream& in) {
+  std::stringstream buffered;
+  buffered << in.rdbuf();
+  std::string content = buffered.str();
+  std::size_t i = 0;
+  while (i < content.size() &&
+         (content[i] == ' ' || content[i] == '\t' || content[i] == '\n' ||
+          content[i] == '\r')) {
+    ++i;
+  }
+  const bool dimacs =
+      i < content.size() && (content[i] == 'c' || content[i] == 'p');
+  std::istringstream replay(std::move(content));
+  return dimacs ? read_dimacs(replay) : read_edge_list(replay);
+}
+
+}  // namespace
+
+Graph load_graph(const std::string& path, const std::string& format) {
+  const std::string kind = detect_graph_format(path, format);
+  if (kind == "gsbg") {
+    fail("'" + path + "' is a .gsbg container; open it with "
+         "storage::MappedGraph (gsb does this automatically)");
+  }
+  if (path == "-") {
+    if (kind == "dimacs") return read_dimacs(std::cin);
+    if (kind == "edges") return read_edge_list(std::cin);
+    if (kind.empty()) return read_text_sniffed(std::cin);
+    fail("stdin supports only text formats (dimacs, edges)");
+  }
+  if (kind == "dimacs") return graph::read_dimacs_file(path);
+  if (kind == "binary") return graph::read_binary_file(path);
+  if (kind == "edges") return graph::read_edge_list_file(path);
+  fail("unknown format '" + kind + "'");
+}
+
+void save_graph(const Graph& g, const std::string& path,
+                const std::string& format, const std::string& comment) {
+  const std::string kind = detect_graph_format(path, format);
+  if (kind == "gsbg") {
+    fail("write .gsbg containers through storage::write_gsbg_file");
+  }
+  if (path == "-") {
+    if (kind == "dimacs" || kind.empty()) {
+      return write_dimacs(g, std::cout, comment);
+    }
+    if (kind == "edges") return write_edge_list(g, std::cout);
+    fail("stdout supports only text formats (dimacs, edges)");
+  }
+  if (kind == "dimacs") return write_dimacs_file(g, path, comment);
+  if (kind == "binary") return write_binary_file(g, path);
+  if (kind == "edges") return write_edge_list_file(g, path);
+  fail("unknown format '" + kind + "'");
 }
 
 }  // namespace gsb::graph

@@ -16,7 +16,7 @@ Graph complement(const Graph& g) {
   return out;
 }
 
-InducedSubgraph induced_subgraph(const Graph& g,
+InducedSubgraph induced_subgraph(const GraphView& g,
                                  const std::vector<VertexId>& vertices) {
   std::vector<VertexId> sorted(vertices);
   std::sort(sorted.begin(), sorted.end());
@@ -34,7 +34,7 @@ InducedSubgraph induced_subgraph(const Graph& g,
   return out;
 }
 
-bits::DynamicBitset kcore_mask(const Graph& g, std::size_t k) {
+bits::DynamicBitset kcore_mask(const GraphView& g, std::size_t k) {
   const std::size_t n = g.order();
   bits::DynamicBitset alive(n);
   alive.set_all();
@@ -58,7 +58,7 @@ bits::DynamicBitset kcore_mask(const Graph& g, std::size_t k) {
   return alive;
 }
 
-InducedSubgraph kcore_subgraph(const Graph& g, std::size_t k) {
+InducedSubgraph kcore_subgraph(const GraphView& g, std::size_t k) {
   const bits::DynamicBitset alive = kcore_mask(g, k);
   std::vector<VertexId> survivors;
   survivors.reserve(alive.count());

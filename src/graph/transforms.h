@@ -14,6 +14,7 @@
 
 #include "bitset/dynamic_bitset.h"
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace gsb::graph {
 
@@ -26,16 +27,16 @@ struct InducedSubgraph {
   Graph graph;
   std::vector<VertexId> mapping;  ///< new id -> original id
 };
-InducedSubgraph induced_subgraph(const Graph& g,
+InducedSubgraph induced_subgraph(const GraphView& g,
                                  const std::vector<VertexId>& vertices);
 
 /// Vertices surviving iterated peeling of vertices with degree < k
 /// (the k-core).  For k-clique search pass k-1 per the paper's rule: a
 /// vertex of a k-clique has at least k-1 neighbors *within the clique*.
-bits::DynamicBitset kcore_mask(const Graph& g, std::size_t k);
+bits::DynamicBitset kcore_mask(const GraphView& g, std::size_t k);
 
 /// The k-core as a reduced graph (may be empty).
-InducedSubgraph kcore_subgraph(const Graph& g, std::size_t k);
+InducedSubgraph kcore_subgraph(const GraphView& g, std::size_t k);
 
 /// Degeneracy ordering (repeatedly remove a minimum-degree vertex).
 struct DegeneracyResult {

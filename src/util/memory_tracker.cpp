@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace gsb::util {
 
 void MemoryTracker::allocate(std::size_t bytes, MemTag tag) noexcept {
@@ -48,6 +52,20 @@ std::string_view MemoryTracker::tag_name(MemTag tag) noexcept {
 MemoryTracker& global_memory_tracker() noexcept {
   static MemoryTracker tracker;
   return tracker;
+}
+
+std::size_t process_peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB elsewhere
+#endif
+#else
+  return 0;
+#endif
 }
 
 ByteString format_bytes(std::size_t bytes) noexcept {

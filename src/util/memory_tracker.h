@@ -103,6 +103,13 @@ class ScopedAllocation {
   MemTag tag_;
 };
 
+/// Peak resident set size of this process in bytes, straight from the OS
+/// (getrusage ru_maxrss), or 0 where unavailable.  Complements the
+/// tracker's structure-level accounting: the tracker proves which
+/// structures grew; this proves what the process actually held — the
+/// number an out-of-core run quotes to demonstrate bounded memory.
+std::size_t process_peak_rss_bytes() noexcept;
+
 /// Formats a byte count as a human-readable string ("12.3 MB").
 /// Returns a small fixed-capacity buffer by value.
 struct ByteString {

@@ -1,0 +1,138 @@
+// Tests for the tiled out-of-core correlation builder: the edge set must be
+// bit-identical to the in-memory builder's, from both an in-RAM matrix and
+// an on-disk expression file, and the peak resident bytes must stay bounded
+// by the tile budget + output size — not by genes².
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bio/correlation.h"
+#include "bio/generator.h"
+#include "bio/normalize.h"
+#include "bio/tiled_correlation.h"
+#include "bitset/dynamic_bitset.h"
+#include "storage/mapped_graph.h"
+#include "util/rng.h"
+
+namespace gsb {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempPath {
+ public:
+  explicit TempPath(const std::string& stem) {
+    static int counter = 0;
+    path_ = (fs::temp_directory_path() /
+             (stem + "_" + std::to_string(counter++) + ".gsbg"))
+                .string();
+  }
+  ~TempPath() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+bio::ExpressionMatrix synthetic_expression(std::size_t genes,
+                                           std::size_t samples,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  bio::MicroarrayConfig config;
+  config.genes = genes;
+  config.samples = samples;
+  config.modules = genes / 40 + 1;
+  auto data = bio::generate_microarray(config, rng);
+  bio::quantile_normalize(data.expression);
+  return std::move(data.expression);
+}
+
+TEST(TiledCorrelation, MatchesInMemoryBuilderEdgeForEdge) {
+  for (std::uint64_t seed : {7u, 21u, 2005u}) {
+    const auto expression = synthetic_expression(180, 24, seed);
+
+    bio::CorrelationGraphOptions in_memory;
+    in_memory.threshold = 0.65;
+    util::Rng rng(1);
+    const auto expected =
+        bio::build_correlation_graph(expression, in_memory, rng);
+
+    TempPath out("tiled");
+    bio::TiledCorrelationOptions tiled;
+    tiled.threshold = 0.65;
+    tiled.tile_rows = 32;  // forces a multi-tile sweep
+    const auto result =
+        bio::build_correlation_gsbg(expression, out.path(), tiled);
+
+    storage::MappedGraph::Options verify;
+    verify.verify_checksum = true;
+    const auto mapped = storage::MappedGraph::open(out.path(), verify);
+    EXPECT_EQ(result.edges, expected.graph.num_edges());
+    EXPECT_TRUE(mapped.load() == expected.graph) << "seed " << seed;
+  }
+}
+
+TEST(TiledCorrelation, OnDiskExpressionSourceMatchesInRam) {
+  const auto expression = synthetic_expression(120, 16, 77);
+  TempPath matrix_file("matrix");
+  bio::write_expression_binary(expression, matrix_file.path());
+  bio::BinaryFileRowSource on_disk(matrix_file.path());
+  ASSERT_EQ(on_disk.genes(), expression.genes());
+  ASSERT_EQ(on_disk.samples(), expression.samples());
+
+  TempPath from_ram("fromram");
+  TempPath from_disk("fromdisk");
+  bio::TiledCorrelationOptions options;
+  options.threshold = 0.6;
+  options.tile_rows = 25;  // uneven tail tile on purpose
+  bio::build_correlation_gsbg(expression, from_ram.path(), options);
+  bio::build_correlation_gsbg(on_disk, from_disk.path(), options);
+
+  const auto a = storage::MappedGraph::open(from_ram.path());
+  const auto b = storage::MappedGraph::open(from_disk.path());
+  EXPECT_TRUE(a.load() == b.load());
+}
+
+TEST(TiledCorrelation, PeakResidentBytesStayBounded) {
+  // Graph 8x the tile budget: the in-memory path would standardize all
+  // genes (n*s*8) and hold the full bitmap adjacency (n*n/8); the tiled
+  // path must come in well under both combined.
+  const std::size_t genes = 512;
+  const std::size_t samples = 24;
+  const std::size_t tile = 64;
+  const auto expression = synthetic_expression(genes, samples, 11);
+
+  TempPath out("bounded");
+  bio::TiledCorrelationOptions options;
+  options.threshold = 0.70;
+  options.tile_rows = tile;
+  const auto result =
+      bio::build_correlation_gsbg(expression, out.path(), options);
+  ASSERT_EQ(result.tiles, genes / tile);
+
+  const std::size_t standardized_bytes = genes * samples * sizeof(double);
+  const std::size_t bitmap_bytes =
+      genes * bits::DynamicBitset::word_count(genes) * sizeof(std::uint64_t);
+  const std::size_t in_memory_bytes = standardized_bytes + bitmap_bytes;
+
+  EXPECT_GT(result.peak_tracked_bytes, 0u);
+  EXPECT_LT(result.peak_tracked_bytes, in_memory_bytes / 2)
+      << "tiled build is not measurably below the in-memory footprint";
+  // The expression-side working set specifically must be tile-sized, not
+  // genes-sized: 2 tiles + edge buffer + O(n + m) CSR.
+  const auto mapped = storage::MappedGraph::open(out.path());
+  const std::size_t csr_bytes =
+      (genes + 1) * sizeof(std::uint64_t) * 2 +
+      2 * mapped.num_edges() * sizeof(std::uint32_t) + genes;
+  const std::size_t tile_bytes = 3 * tile * samples * sizeof(double);
+  EXPECT_LT(result.peak_tracked_bytes,
+            tile_bytes + csr_bytes + (1u << 16));
+}
+
+}  // namespace
+}  // namespace gsb
