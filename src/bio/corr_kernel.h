@@ -1,0 +1,166 @@
+#ifndef GSB_BIO_CORR_KERNEL_H
+#define GSB_BIO_CORR_KERNEL_H
+
+/// \file corr_kernel.h
+/// The shared high-performance correlation kernel.
+///
+/// Both correlation builders — the in-memory one (bio/correlation.h) and
+/// the tiled out-of-core one (bio/tiled_correlation.h) — spend their time
+/// in the same place: all-pairs dot products of standardized expression
+/// profiles, an O(genes² × samples) GEMM-shaped workload.  This header
+/// provides the one kernel they both call:
+///
+///   * AlignedRows — standardized profiles stored row-major with each row
+///     start 64-byte aligned and the row length padded to a multiple of
+///     eight doubles (one cache line).  Padding is zero-filled so kernels
+///     may read a full stride without changing any dot product.
+///   * correlation_block — a cache-blocked, register-tiled dense block
+///     product: packs the B rows into a transposed (sample-major) panel so
+///     the inner loop is SIMD-friendly (contiguous loads, one broadcast),
+///     and keeps eight independent accumulator chains per A row so the
+///     floating-point latency chain of the naive scalar loop disappears.
+///   * correlation_cross / correlation_self — block-pair sweeps that
+///     dispatch blocks over a par::ThreadPool and emit thresholded edges
+///     through a reorder buffer.
+///
+/// Determinism contract: for every pair (i, j) the kernel accumulates
+/// a[k] * b[k] in ascending k with a single accumulator per pair — exactly
+/// the order of the scalar reference profile_dot().  Vectorization happens
+/// *across* pairs (independent accumulator chains in SIMD lanes), never
+/// within one, so every produced correlation is bit-identical to the
+/// scalar reference.  The sweep drivers additionally emit edges in a fixed
+/// (block pair, i, j) order regardless of thread count or scheduling, so
+/// edge sets — and anything built from them, including .gsbg containers —
+/// are byte-identical across thread counts.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bio/correlation.h"
+#include "bio/expression.h"
+#include "parallel/thread_pool.h"
+
+namespace gsb::bio {
+
+/// Default rows per cache block for the sweep drivers.  Two 128-row blocks
+/// of 64–512 samples (128 KiB – 1 MiB of doubles) sit comfortably in L2
+/// while each packed panel is reused across the whole opposing block.
+inline constexpr std::size_t kDefaultCorrBlock = 128;
+
+/// Row-major matrix of profiles with 64-byte-aligned, zero-padded rows —
+/// the SoA layout the blocked kernel consumes.  stride() is samples()
+/// rounded up to a whole cache line of doubles; the pad lanes are zero and
+/// must stay zero (kernels may load them).
+class AlignedRows {
+ public:
+  static constexpr std::size_t kAlignment = 64;  // bytes
+  static constexpr std::size_t kAlignDoubles = kAlignment / sizeof(double);
+
+  AlignedRows() = default;
+  AlignedRows(std::size_t rows, std::size_t samples)
+      : rows_(rows),
+        samples_(samples),
+        stride_((samples + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles) {
+    const std::size_t total = rows_ * stride_ * sizeof(double);
+    if (total == 0) return;
+    data_.reset(static_cast<double*>(std::aligned_alloc(kAlignment, total)));
+    if (data_ == nullptr) throw std::bad_alloc();
+    std::fill_n(data_.get(), rows_ * stride_, 0.0);
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+  /// Doubles between consecutive row starts (>= samples, multiple of 8).
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+  /// Bytes owned by the backing allocation.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return rows_ * stride_ * sizeof(double);
+  }
+
+  [[nodiscard]] double* row(std::size_t r) noexcept {
+    return data_.get() + r * stride_;
+  }
+  [[nodiscard]] const double* row(std::size_t r) const noexcept {
+    return data_.get() + r * stride_;
+  }
+
+ private:
+  struct FreeDeleter {
+    void operator()(double* p) const noexcept { std::free(p); }
+  };
+
+  std::size_t rows_ = 0;
+  std::size_t samples_ = 0;
+  std::size_t stride_ = 0;
+  std::unique_ptr<double[], FreeDeleter> data_;
+};
+
+/// Standardized profiles plus per-row validity (false marks constant rows,
+/// whose standardized profile is all-zero).
+struct StandardizedRows {
+  AlignedRows rows;
+  std::vector<unsigned char> valid;
+};
+
+/// Standardizes every row of \p expression under \p method straight into
+/// an aligned, padded row block (no per-row staging buffer; Spearman rank
+/// scratch is reused across rows).
+StandardizedRows standardize_rows(const ExpressionMatrix& expression,
+                                  CorrelationMethod method);
+
+/// Dense block product: out[i * out_stride + j] = dot(a_i, b_j) over
+/// \p samples entries, for i < a_count, j < b_count.  Rows are read at
+/// \p a_stride / \p b_stride doubles apart (use AlignedRows::stride()).
+/// \p scratch holds the packed transposed B panel and is reused across
+/// calls.  out must not alias the inputs.  Every out entry is bit-identical
+/// to profile_dot(a_i, b_j, samples).
+void correlation_block(const double* a_rows, std::size_t a_count,
+                       const double* b_rows, std::size_t b_count,
+                       std::size_t samples, std::size_t a_stride,
+                       std::size_t b_stride, double* out,
+                       std::size_t out_stride, std::vector<double>& scratch);
+
+/// Options for the block-pair sweep drivers.
+struct CorrSweepOptions {
+  /// Rows per cache block; 0 = kDefaultCorrBlock.
+  std::size_t block = 0;
+  /// Worker pool for block-level parallelism; nullptr (or a 1-thread pool)
+  /// runs sequentially.  The produced edge sequence is identical either
+  /// way.
+  par::ThreadPool* pool = nullptr;
+};
+
+/// Receives one thresholded pair: global ids (u, v) and the correlation.
+using CorrEdgeSink =
+    std::function<void(std::uint32_t, std::uint32_t, double)>;
+
+/// Sweeps all (i, j) pairs between row block A (global ids a_first + i)
+/// and row block B (global ids b_first + j), emitting every pair with both
+/// rows valid and |corr| >= threshold.  \p diagonal marks A and B as the
+/// *same* row range (then only pairs with global i < j are emitted and
+/// only upper-triangle block pairs are visited).  Validity pointers may be
+/// null (all rows valid); they index block-local rows.  The sink is called
+/// from one thread at a time, in ascending (block pair, i, j) order,
+/// independent of thread count.
+void correlation_cross(const AlignedRows& a, std::size_t a_count,
+                       const unsigned char* a_valid, std::uint32_t a_first,
+                       const AlignedRows& b, std::size_t b_count,
+                       const unsigned char* b_valid, std::uint32_t b_first,
+                       bool diagonal, double threshold,
+                       const CorrSweepOptions& options,
+                       const CorrEdgeSink& sink);
+
+/// All-pairs upper-triangle sweep of one row block (the in-memory
+/// builder's shape): correlation_cross of the block with itself.
+void correlation_self(const AlignedRows& rows, std::size_t count,
+                      const unsigned char* valid, double threshold,
+                      const CorrSweepOptions& options,
+                      const CorrEdgeSink& sink);
+
+}  // namespace gsb::bio
+
+#endif  // GSB_BIO_CORR_KERNEL_H

@@ -1,76 +1,93 @@
 #include "bio/correlation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
+#include "bio/corr_kernel.h"
+#include "parallel/thread_pool.h"
 #include "util/stats.h"
 
 namespace gsb::bio {
 namespace {
 
-/// Standardizes profiles to mean 0 / unit norm so correlation reduces to a
-/// dot product.  Returns false for constant profiles.
-bool standardize(std::span<const double> in, std::vector<double>& out) {
-  const std::size_t n = in.size();
-  out.resize(n);
+/// Standardizes \p n values to mean 0 / unit norm directly into \p out so
+/// correlation reduces to a dot product.  Returns false for constant
+/// profiles (out is zero-filled).
+bool standardize_into(const double* in, std::size_t n, double* out) {
   const double mean =
-      std::accumulate(in.begin(), in.end(), 0.0) / static_cast<double>(n);
+      std::accumulate(in, in + n, 0.0) / static_cast<double>(n);
   double ss = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = in[i] - mean;
     ss += out[i] * out[i];
   }
-  if (ss == 0.0) return false;
+  if (ss == 0.0) {
+    std::fill(out, out + n, 0.0);
+    return false;
+  }
   const double inv = 1.0 / std::sqrt(ss);
-  for (double& v : out) v *= inv;
+  for (std::size_t i = 0; i < n; ++i) out[i] *= inv;
   return true;
 }
 
-/// Row-standardized matrix (genes x samples) for dot-product correlation;
-/// `valid[g]` false marks constant rows.
-struct Standardized {
-  std::vector<double> values;  // row-major
-  std::vector<bool> valid;
-  std::size_t samples = 0;
-
-  [[nodiscard]] const double* row(std::size_t g) const noexcept {
-    return values.data() + g * samples;
-  }
-};
-
-Standardized standardize_all(const ExpressionMatrix& expression,
-                             CorrelationMethod method) {
-  Standardized out;
-  const std::size_t genes = expression.genes();
-  out.samples = expression.samples();
-  out.values.resize(genes * out.samples);
-  out.valid.assign(genes, false);
-  std::vector<double> buffer;
-  for (std::size_t g = 0; g < genes; ++g) {
-    out.valid[g] = standardized_profile(expression.row(g), method, buffer);
-    std::copy(buffer.begin(), buffer.end(),
-              out.values.begin() + static_cast<std::ptrdiff_t>(g * out.samples));
-  }
-  return out;
+bool standardize(std::span<const double> in, std::vector<double>& out) {
+  out.resize(in.size());
+  return standardize_into(in.data(), in.size(), out.data());
 }
 
-double dot(const double* a, const double* b, std::size_t n) noexcept {
-  return profile_dot(a, b, n);
+std::size_t resolve_threads(std::size_t threads) {
+  return threads == 0 ? par::ThreadPool::default_threads() : threads;
 }
 
 }  // namespace
 
+void midranks_into(std::span<const double> values,
+                   StandardizeScratch& scratch) {
+  const std::size_t n = values.size();
+  scratch.order.resize(n);
+  std::iota(scratch.order.begin(), scratch.order.end(), 0u);
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return values[a] < values[b];
+            });
+  scratch.ranks.assign(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && values[scratch.order[j]] == values[scratch.order[i]]) ++j;
+    // Average 1-based rank for the tie group [i, j).
+    const double rank = (static_cast<double>(i) + static_cast<double>(j - 1)) /
+                            2.0 +
+                        1.0;
+    for (std::size_t t = i; t < j; ++t) scratch.ranks[scratch.order[t]] = rank;
+    i = j;
+  }
+}
+
+std::vector<double> midranks(std::span<const double> values) {
+  StandardizeScratch scratch;
+  midranks_into(values, scratch);
+  return std::move(scratch.ranks);
+}
+
+bool standardized_profile_into(std::span<const double> profile,
+                               CorrelationMethod method, double* out,
+                               StandardizeScratch& scratch) {
+  if (method == CorrelationMethod::kSpearman) {
+    midranks_into(profile, scratch);
+    return standardize_into(scratch.ranks.data(), profile.size(), out);
+  }
+  return standardize_into(profile.data(), profile.size(), out);
+}
+
 bool standardized_profile(std::span<const double> profile,
                           CorrelationMethod method, std::vector<double>& out) {
-  if (method == CorrelationMethod::kSpearman) {
-    const std::vector<double> ranks = midranks(profile);
-    if (standardize(ranks, out)) return true;
-  } else if (standardize(profile, out)) {
-    return true;
-  }
-  out.assign(profile.size(), 0.0);
-  return false;
+  out.resize(profile.size());
+  StandardizeScratch scratch;
+  return standardized_profile_into(profile, method, out.data(), scratch);
 }
 
 double profile_dot(const double* a, const double* b, std::size_t n) noexcept {
@@ -79,34 +96,12 @@ double profile_dot(const double* a, const double* b, std::size_t n) noexcept {
   return total;
 }
 
-std::vector<double> midranks(std::span<const double> values) {
-  const std::size_t n = values.size();
-  std::vector<std::uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    return values[a] < values[b];
-  });
-  std::vector<double> ranks(n, 0.0);
-  std::size_t i = 0;
-  while (i < n) {
-    std::size_t j = i + 1;
-    while (j < n && values[order[j]] == values[order[i]]) ++j;
-    // Average 1-based rank for the tie group [i, j).
-    const double rank = (static_cast<double>(i) + static_cast<double>(j - 1)) /
-                            2.0 +
-                        1.0;
-    for (std::size_t t = i; t < j; ++t) ranks[order[t]] = rank;
-    i = j;
-  }
-  return ranks;
-}
-
 double pearson(std::span<const double> x, std::span<const double> y) {
   std::vector<double> sx;
   std::vector<double> sy;
   if (x.size() != y.size() || x.empty()) return 0.0;
   if (!standardize(x, sx) || !standardize(y, sy)) return 0.0;
-  return dot(sx.data(), sy.data(), sx.size());
+  return profile_dot(sx.data(), sy.data(), sx.size());
 }
 
 double spearman(std::span<const double> x, std::span<const double> y) {
@@ -116,20 +111,66 @@ double spearman(std::span<const double> x, std::span<const double> y) {
 }
 
 CorrelationMatrix correlation_matrix(const ExpressionMatrix& expression,
-                                     CorrelationMethod method) {
+                                     CorrelationMethod method,
+                                     std::size_t threads) {
   const std::size_t genes = expression.genes();
   CorrelationMatrix out(genes);
-  const Standardized std_rows = standardize_all(expression, method);
-  for (std::size_t i = 0; i < genes; ++i) {
-    out.set(i, i, 1.0f);
-    if (!std_rows.valid[i]) continue;
-    for (std::size_t j = i + 1; j < genes; ++j) {
-      if (!std_rows.valid[j]) continue;
-      out.set(i, j,
-              static_cast<float>(
-                  dot(std_rows.row(i), std_rows.row(j), std_rows.samples)));
+  if (genes == 0) return out;
+  const StandardizedRows rows = standardize_rows(expression, method);
+  const std::size_t samples = expression.samples();
+  const std::size_t block = kDefaultCorrBlock;
+
+  // Upper-triangle block pairs only; set() mirrors each entry, so the
+  // lower triangle is never recomputed.  Constant rows standardize to
+  // all-zero, so their correlations come out exactly 0 without a branch.
+  struct Task {
+    std::size_t i0;
+    std::size_t j0;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t i0 = 0; i0 < genes; i0 += block) {
+    for (std::size_t j0 = i0; j0 < genes; j0 += block) {
+      tasks.push_back(Task{i0, j0});
     }
   }
+  auto fill_task = [&](const Task& task, std::vector<double>& dense,
+                       std::vector<double>& pack) {
+    const std::size_t ci = std::min(block, genes - task.i0);
+    const std::size_t cj = std::min(block, genes - task.j0);
+    dense.resize(ci * cj);
+    correlation_block(rows.rows.row(task.i0), ci, rows.rows.row(task.j0), cj,
+                      samples, rows.rows.stride(), rows.rows.stride(),
+                      dense.data(), cj, pack);
+    for (std::size_t i = 0; i < ci; ++i) {
+      const std::size_t gi = task.i0 + i;
+      std::size_t j = task.j0 == task.i0 ? i + 1 : 0;
+      for (; j < cj; ++j) {
+        out.set(gi, task.j0 + j, static_cast<float>(dense[i * cj + j]));
+      }
+    }
+  };
+
+  const std::size_t workers = resolve_threads(threads);
+  if (workers <= 1 || tasks.size() <= 1) {
+    std::vector<double> dense;
+    std::vector<double> pack;
+    for (const Task& task : tasks) fill_task(task, dense, pack);
+  } else {
+    // Each block pair owns a disjoint set of (i, j) cells (and their
+    // mirrors), so workers write without synchronization.
+    par::ThreadPool pool(workers);
+    std::atomic<std::size_t> next{0};
+    pool.run_round([&](std::size_t) {
+      std::vector<double> dense;
+      std::vector<double> pack;
+      while (true) {
+        const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+        if (t >= tasks.size()) return;
+        fill_task(tasks[t], dense, pack);
+      }
+    });
+  }
+  for (std::size_t i = 0; i < genes; ++i) out.set(i, i, 1.0f);
   return out;
 }
 
@@ -139,7 +180,8 @@ CorrelationGraphResult build_correlation_graph(
   const std::size_t genes = expression.genes();
   CorrelationGraphResult result{graph::Graph(genes), options.threshold};
   if (genes < 2) return result;
-  const Standardized rows = standardize_all(expression, options.method);
+  const StandardizedRows rows = standardize_rows(expression, options.method);
+  const std::size_t samples = expression.samples();
 
   double threshold = options.threshold;
   if (options.target_edges > 0) {
@@ -161,28 +203,28 @@ CorrelationGraphResult build_correlation_graph(
         --d;  // retry this draw
         continue;
       }
-      if (!rows.valid[i] || !rows.valid[j]) {
+      if (rows.valid[i] == 0 || rows.valid[j] == 0) {
         sample.push_back(0.0);
         continue;
       }
       sample.push_back(
-          std::fabs(dot(rows.row(i), rows.row(j), rows.samples)));
+          std::fabs(profile_dot(rows.rows.row(i), rows.rows.row(j), samples)));
     }
     threshold = util::quantile(std::move(sample), 1.0 - fraction);
   }
   result.threshold_used = threshold;
 
-  for (std::size_t i = 0; i < genes; ++i) {
-    if (!rows.valid[i]) continue;
-    for (std::size_t j = i + 1; j < genes; ++j) {
-      if (!rows.valid[j]) continue;
-      const double corr = dot(rows.row(i), rows.row(j), rows.samples);
-      if (std::fabs(corr) >= threshold) {
-        result.graph.add_edge(static_cast<graph::VertexId>(i),
-                              static_cast<graph::VertexId>(j));
-      }
-    }
-  }
+  const std::size_t workers = resolve_threads(options.threads);
+  std::optional<par::ThreadPool> pool;
+  if (workers > 1) pool.emplace(workers);
+  CorrSweepOptions sweep;
+  sweep.block = options.corr_block;
+  sweep.pool = pool ? &*pool : nullptr;
+  correlation_self(rows.rows, genes, rows.valid.data(), threshold, sweep,
+                   [&](std::uint32_t u, std::uint32_t v, double) {
+                     result.graph.add_edge(static_cast<graph::VertexId>(u),
+                                           static_cast<graph::VertexId>(v));
+                   });
   return result;
 }
 

@@ -30,11 +30,31 @@ double spearman(std::span<const double> x, std::span<const double> y);
 /// Tie-averaged ranks of a profile (1-based averages, standard midranks).
 std::vector<double> midranks(std::span<const double> values);
 
+/// Reusable scratch for standardized_profile_into: the Spearman path needs
+/// a sort permutation and a rank buffer per call, and reusing them across
+/// a genes-long standardization pass removes the per-row allocation churn.
+struct StandardizeScratch {
+  std::vector<double> ranks;
+  std::vector<std::uint32_t> order;
+};
+
+/// midranks, but writing into scratch.ranks and reusing scratch.order for
+/// the sort permutation — no allocations after the first call.
+void midranks_into(std::span<const double> values,
+                   StandardizeScratch& scratch);
+
 /// Standardizes a profile for dot-product correlation under \p method
-/// (rank-transforms first for Spearman): mean 0, unit norm.  Returns false
-/// for constant profiles (out is left all-zero).  Both the in-memory and
-/// the tiled out-of-core builders go through this one function, which is
-/// what makes their edge sets bit-identical.
+/// (rank-transforms first for Spearman): mean 0, unit norm, written
+/// directly into \p out (profile.size() doubles — e.g. a destination row
+/// of an AlignedRows block, no staging buffer).  Returns false for
+/// constant profiles, leaving out all-zero.  Every builder goes through
+/// this one function, which is what makes their edge sets bit-identical.
+bool standardized_profile_into(std::span<const double> profile,
+                               CorrelationMethod method, double* out,
+                               StandardizeScratch& scratch);
+
+/// Convenience overload producing a std::vector (resized to the profile
+/// length).  Prefer standardized_profile_into in loops.
 bool standardized_profile(std::span<const double> profile,
                           CorrelationMethod method, std::vector<double>& out);
 
@@ -66,9 +86,14 @@ class CorrelationMatrix {
   std::vector<float> values_;
 };
 
-/// Full correlation matrix under the chosen method.
+/// Full correlation matrix under the chosen method.  Computed with the
+/// blocked kernel over upper-triangle block pairs only; symmetric entries
+/// are mirrored, never recomputed.  \p threads workers compute disjoint
+/// blocks (0 = hardware concurrency, 1 = sequential); the result is
+/// identical for every thread count.
 CorrelationMatrix correlation_matrix(const ExpressionMatrix& expression,
-                                     CorrelationMethod method);
+                                     CorrelationMethod method,
+                                     std::size_t threads = 1);
 
 /// Options for thresholded graph construction.
 struct CorrelationGraphOptions {
@@ -80,6 +105,12 @@ struct CorrelationGraphOptions {
   std::size_t target_edges = 0;
   /// Pairs sampled for the quantile estimate.
   std::size_t quantile_samples = 200000;
+  /// Worker threads for the blocked correlation sweep: 0 = hardware
+  /// concurrency, 1 = sequential.  The edge set is identical at every
+  /// thread count (see corr_kernel.h's determinism contract).
+  std::size_t threads = 1;
+  /// Rows per cache block in the sweep; 0 = kernel default.
+  std::size_t corr_block = 0;
 };
 
 /// Result of graph construction.

@@ -6,8 +6,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 #include <vector>
+
+#include "bio/corr_kernel.h"
+#include "parallel/thread_pool.h"
 
 namespace gsb::bio {
 namespace {
@@ -172,16 +176,20 @@ TiledCorrelationResult build_correlation_gsbg(
   {
     auto out = open_out(std_file.path());
     std::vector<double> block(tile * s);
-    DualAlloc block_bytes(tracker, external,
-                          block.capacity() * sizeof(double), MemTag::kScratch);
-    std::vector<double> standardized;
+    std::vector<double> standardized(s);
+    DualAlloc block_bytes(
+        tracker, external,
+        (block.capacity() + standardized.capacity()) * sizeof(double),
+        MemTag::kScratch);
+    StandardizeScratch scratch;  // rank buffers reused across all rows
     for (std::size_t first = 0; first < n; first += tile) {
       const std::size_t count = std::min(tile, n - first);
       source.fetch(first, count, block.data());
       for (std::size_t r = 0; r < count; ++r) {
-        valid[first + r] = standardized_profile(
-            std::span<const double>(block.data() + r * s, s), options.method,
-            standardized)
+        valid[first + r] = standardized_profile_into(
+                               std::span<const double>(block.data() + r * s,
+                                                       s),
+                               options.method, standardized.data(), scratch)
                                ? 1
                                : 0;
         out.write(reinterpret_cast<const char*>(standardized.data()),
@@ -191,14 +199,21 @@ TiledCorrelationResult build_correlation_gsbg(
     if (!out) fail("write failed for standardized scratch");
   }
 
-  // --- pass 2: tile x tile sweep, two tiles resident ------------------------
+  // --- pass 2: blocked tile x tile sweep, two tiles resident ----------------
+  // The arithmetic runs through the shared blocked kernel; blocks are
+  // dispatched over the thread pool and their edges reordered back into a
+  // fixed sequence, so the spill file — and the final container — is
+  // byte-identical at every thread count.
   std::uint64_t edges = 0;
   {
     auto std_in = open_in(std_file.path());
-    auto read_tile = [&](std::size_t first, std::size_t count, double* out) {
+    auto read_tile = [&](std::size_t first, std::size_t count,
+                         AlignedRows& dst) {
       std_in.seekg(static_cast<std::streamoff>(first * s * sizeof(double)));
-      std_in.read(reinterpret_cast<char*>(out),
-                  static_cast<std::streamsize>(count * s * sizeof(double)));
+      for (std::size_t r = 0; r < count; ++r) {
+        std_in.read(reinterpret_cast<char*>(dst.row(r)),
+                    static_cast<std::streamsize>(s * sizeof(double)));
+      }
       if (!std_in) fail("short read from standardized scratch");
     };
 
@@ -215,42 +230,40 @@ TiledCorrelationResult build_correlation_gsbg(
       edge_buffer.clear();
     };
 
-    std::vector<double> tile_i(tile * s);
-    std::vector<double> tile_j(tile * s);
-    DualAlloc tiles_bytes(
-        tracker, external,
-        (tile_i.capacity() + tile_j.capacity()) * sizeof(double),
-        MemTag::kScratch);
+    AlignedRows tile_a(tile, s);
+    AlignedRows tile_b(tile, s);
+    DualAlloc tiles_bytes(tracker, external, tile_a.bytes() + tile_b.bytes(),
+                          MemTag::kScratch);
+
+    const std::size_t threads = options.threads == 0
+                                    ? par::ThreadPool::default_threads()
+                                    : options.threads;
+    std::optional<par::ThreadPool> pool;
+    if (threads > 1 && n > 1) pool.emplace(threads);
+    CorrSweepOptions sweep;
+    sweep.block = options.block_rows;
+    sweep.pool = pool ? &*pool : nullptr;
+    const CorrEdgeSink sink = [&](std::uint32_t u, std::uint32_t v, double) {
+      edge_buffer.push_back(SpillEdge{u, v});
+      ++edges;
+      if (edge_buffer.size() == edge_buffer.capacity()) flush_edges();
+    };
 
     for (std::size_t fi = 0; fi < n; fi += tile) {
       const std::size_t ci = std::min(tile, n - fi);
-      read_tile(fi, ci, tile_i.data());
+      read_tile(fi, ci, tile_a);
       for (std::size_t fj = fi; fj < n; fj += tile) {
         const std::size_t cj = std::min(tile, n - fj);
-        const double* rows_j = tile_i.data();
+        const AlignedRows* rows_b = &tile_a;
         if (fj != fi) {
-          read_tile(fj, cj, tile_j.data());
-          rows_j = tile_j.data();
+          read_tile(fj, cj, tile_b);
+          rows_b = &tile_b;
         }
-        for (std::size_t i = 0; i < ci; ++i) {
-          const std::size_t gi = fi + i;
-          if (valid[gi] == 0) continue;
-          const double* row_i = tile_i.data() + i * s;
-          // Same-tile blocks start j above the diagonal.
-          const std::size_t j0 = fj == fi ? i + 1 : 0;
-          for (std::size_t j = j0; j < cj; ++j) {
-            const std::size_t gj = fj + j;
-            if (valid[gj] == 0) continue;
-            const double corr = profile_dot(row_i, rows_j + j * s, s);
-            if (std::fabs(corr) >= options.threshold) {
-              edge_buffer.push_back(
-                  SpillEdge{static_cast<std::uint32_t>(gi),
-                            static_cast<std::uint32_t>(gj)});
-              ++edges;
-              if (edge_buffer.size() == edge_buffer.capacity()) flush_edges();
-            }
-          }
-        }
+        correlation_cross(tile_a, ci, valid.data() + fi,
+                          static_cast<std::uint32_t>(fi), *rows_b, cj,
+                          valid.data() + fj, static_cast<std::uint32_t>(fj),
+                          /*diagonal=*/fj == fi, options.threshold, sweep,
+                          sink);
       }
     }
     flush_edges();

@@ -10,7 +10,8 @@
 /// below genome scale.  This builder instead
 ///   1. streams expression rows block-by-block, writing standardized
 ///      profiles to a scratch file (one pass, one tile resident);
-///   2. sweeps tile × tile over the scratch file, appending every edge
+///   2. sweeps tile × tile over the scratch file with the blocked,
+///      multithreaded kernel (bio/corr_kernel.h), appending every edge
 ///      with |corr| >= threshold to an edge spill file (two tiles
 ///      resident);
 ///   3. finalizes the spill into CSR and hands it to the streaming .gsbg
@@ -18,8 +19,10 @@
 /// Peak resident bytes are therefore bounded by the tile budget plus the
 /// *output* size, never by genes² — the Fabregat-Traver/Bientinesi
 /// out-of-core recipe applied to the paper's pipeline.  All arithmetic
-/// goes through the same standardized_profile/profile_dot kernels as the
-/// in-memory builder, so the produced edge set is bit-identical.
+/// goes through the same standardization and blocked-dot kernels as the
+/// in-memory builder (every dot product accumulated in the scalar
+/// profile_dot order), so the produced edge set is bit-identical — across
+/// builders and across thread counts.
 
 #include <cstdint>
 #include <memory>
@@ -92,8 +95,15 @@ struct TiledCorrelationOptions {
   /// the in-memory estimator on a sample if needed.)
   double threshold = 0.85;
   /// Rows per tile — the memory budget knob.  Peak resident expression
-  /// bytes are 2 * tile_rows * samples * 8.
+  /// bytes are 2 * tile_rows * stride * 8 (stride = samples padded to a
+  /// cache line of doubles).
   std::size_t tile_rows = 512;
+  /// Worker threads for the blocked tile x tile sweep: 0 = hardware
+  /// concurrency, 1 = sequential.  The produced .gsbg is byte-identical
+  /// at every thread count (see corr_kernel.h's determinism contract).
+  std::size_t threads = 1;
+  /// Rows per cache block inside a tile pair; 0 = kernel default.
+  std::size_t block_rows = 0;
   /// Directory for the two scratch files; "" = alongside the output.
   std::string scratch_dir;
   /// Options forwarded to the .gsbg writer (bitmap/wah/degree-sort).

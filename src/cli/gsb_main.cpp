@@ -93,6 +93,9 @@ pipeline flags:
   --graph-out FILE          where --out-of-core writes its .gsbg
   --init-k K --max-k K      enumeration size window      (4, unbounded)
   --threads P               worker threads, 0 = cores, 1 = sequential (0)
+                            (correlation sweep + clique enumeration; edge
+                            sets are identical at every thread count)
+  --corr-block B            correlation kernel rows per cache block (128)
   --glom G                  paraclique non-neighbor allowance (1)
   --min-paraclique S        stop extraction below size S (5)
   --hubs H                  hub genes reported           (10)
@@ -246,6 +249,7 @@ void print_memory_summary(const std::string& csv,
 
 int cmd_pipeline(const util::Cli& cli) {
   const auto threads = size_flag(cli, "threads", 0);
+  const auto corr_block = size_flag(cli, "corr-block", 0);
   const auto init_k = size_flag(cli, "init-k", 4);
   const auto max_k = size_flag(cli, "max-k", 0);
   const auto glom = size_flag(cli, "glom", 1);
@@ -289,6 +293,8 @@ int cmd_pipeline(const util::Cli& cli) {
                               : bio::CorrelationMethod::kPearson;
       tiled.threshold = cli.get_double("threshold", 0.70);
       tiled.tile_rows = size_flag(cli, "tile-rows", 512);
+      tiled.threads = threads;
+      tiled.block_rows = corr_block;
       std::string out_path = cli.get("graph-out", "");
       const bool keep_graph = !out_path.empty();
       if (!keep_graph) {
@@ -321,6 +327,8 @@ int cmd_pipeline(const util::Cli& cli) {
                                       : bio::CorrelationMethod::kPearson;
       graph_options.threshold = cli.get_double("threshold", 0.70);
       graph_options.target_edges = size_flag(cli, "target-edges", 0);
+      graph_options.threads = threads;
+      graph_options.corr_block = corr_block;
       auto built = bio::build_correlation_graph(data.expression,
                                                 graph_options, rng);
       input = adopt_graph(std::move(built.graph));
