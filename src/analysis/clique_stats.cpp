@@ -6,18 +6,16 @@ namespace gsb::analysis {
 
 CliqueSpectrum clique_spectrum(const std::vector<core::Clique>& cliques) {
   CliqueSpectrum spectrum;
-  spectrum.total = cliques.size();
-  std::uint64_t size_sum = 0;
-  for (const auto& clique : cliques) {
-    ++spectrum.size_histogram[clique.size()];
-    size_sum += clique.size();
-  }
-  if (!cliques.empty()) {
-    spectrum.min_size = spectrum.size_histogram.begin()->first;
-    spectrum.max_size = spectrum.size_histogram.rbegin()->first;
-    spectrum.mean_size =
-        static_cast<double>(size_sum) / static_cast<double>(cliques.size());
-  }
+  for (const auto& clique : cliques) spectrum.add(clique.size());
+  spectrum.finalize();
+  return spectrum;
+}
+
+CliqueSpectrum clique_spectrum(storage::GsbcReader& stream) {
+  CliqueSpectrum spectrum;
+  core::Clique clique;
+  while (stream.next(clique)) spectrum.add(clique.size());
+  spectrum.finalize();
   return spectrum;
 }
 
@@ -25,6 +23,18 @@ std::vector<std::uint32_t> vertex_participation(
     std::size_t order, const std::vector<core::Clique>& cliques) {
   std::vector<std::uint32_t> counts(order, 0);
   for (const auto& clique : cliques) {
+    for (graph::VertexId v : clique) {
+      if (v < order) ++counts[v];
+    }
+  }
+  return counts;
+}
+
+std::vector<std::uint32_t> vertex_participation(std::size_t order,
+                                                storage::GsbcReader& stream) {
+  std::vector<std::uint32_t> counts(order, 0);
+  core::Clique clique;
+  while (stream.next(clique)) {
     for (graph::VertexId v : clique) {
       if (v < order) ++counts[v];
     }

@@ -13,22 +13,49 @@
 
 #include "core/clique.h"
 #include "graph/graph.h"
+#include "storage/clique_stream.h"
 
 namespace gsb::analysis {
 
-/// Size histogram and aggregates of a clique collection.
+/// Size histogram and aggregates of a clique collection.  The one
+/// accumulator every producer shares: add() per clique (collection walk,
+/// stream scan, or an enumeration sink counting in-flight), finalize()
+/// once at the end.
 struct CliqueSpectrum {
   std::map<std::size_t, std::uint64_t> size_histogram;
   std::size_t max_size = 0;
   std::size_t min_size = 0;
   double mean_size = 0.0;
   std::uint64_t total = 0;
+  std::uint64_t size_sum = 0;
+
+  void add(std::size_t size) {
+    ++total;
+    ++size_histogram[size];
+    size_sum += size;
+  }
+  /// Derives min/max/mean from the histogram; idempotent.
+  void finalize() {
+    if (total == 0) return;
+    min_size = size_histogram.begin()->first;
+    max_size = size_histogram.rbegin()->first;
+    mean_size = static_cast<double>(size_sum) / static_cast<double>(total);
+  }
 };
 CliqueSpectrum clique_spectrum(const std::vector<core::Clique>& cliques);
+
+/// Streaming overload over a `.gsbc` clique stream: one forward pass, O(1)
+/// clique memory — the clique set never has to exist in RAM.  Drains the
+/// reader.
+CliqueSpectrum clique_spectrum(storage::GsbcReader& stream);
 
 /// participation[v] = number of cliques containing v.
 std::vector<std::uint32_t> vertex_participation(
     std::size_t order, const std::vector<core::Clique>& cliques);
+
+/// Streaming overload over a `.gsbc` clique stream.  Drains the reader.
+std::vector<std::uint32_t> vertex_participation(std::size_t order,
+                                                storage::GsbcReader& stream);
 
 /// Jaccard overlap |A ∩ B| / |A ∪ B| of two sorted cliques.
 double clique_overlap(const core::Clique& a, const core::Clique& b);

@@ -10,7 +10,12 @@ namespace gsb::analysis {
 std::vector<HubReport> top_hubs(const graph::GraphView& g,
                                 const std::vector<core::Clique>& cliques,
                                 std::size_t count) {
-  const auto participation = vertex_participation(g.order(), cliques);
+  return top_hubs(g, vertex_participation(g.order(), cliques), count);
+}
+
+std::vector<HubReport> top_hubs(const graph::GraphView& g,
+                                const std::vector<std::uint32_t>& participation,
+                                std::size_t count) {
   std::vector<HubReport> reports(g.order());
   for (graph::VertexId v = 0; v < g.order(); ++v) {
     reports[v] = HubReport{v, g.degree(v), participation[v]};

@@ -28,6 +28,13 @@ std::vector<HubReport> top_hubs(const graph::GraphView& g,
                                 const std::vector<core::Clique>& cliques,
                                 std::size_t count);
 
+/// Overload taking precomputed participation counts (g.order() entries),
+/// e.g. from analysis::vertex_participation over a `.gsbc` stream — the
+/// clique set itself never needs to be in memory.
+std::vector<HubReport> top_hubs(const graph::GraphView& g,
+                                const std::vector<std::uint32_t>& participation,
+                                std::size_t count);
+
 /// The single most connected vertex (order() must be > 0).
 HubReport most_connected_vertex(const graph::GraphView& g,
                                 const std::vector<core::Clique>& cliques);

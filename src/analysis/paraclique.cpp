@@ -1,6 +1,7 @@
 #include "analysis/paraclique.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "bitset/dynamic_bitset.h"
 #include "core/maximum_clique.h"
@@ -50,6 +51,21 @@ Paraclique extract_paraclique(const graph::GraphView& g,
                               const ParacliqueOptions& options) {
   const auto seed = core::maximum_clique(g);
   return grow_paraclique(g, seed.clique, options);
+}
+
+Paraclique extract_paraclique_from_stream(const graph::GraphView& g,
+                                          storage::GsbcReader& stream,
+                                          const ParacliqueOptions& options) {
+  Clique best;
+  Clique current;
+  while (stream.next(current)) {
+    if (current.size() > best.size()) best.swap(current);
+  }
+  if (best.empty()) {
+    throw std::invalid_argument(
+        "extract_paraclique_from_stream: empty clique stream");
+  }
+  return grow_paraclique(g, best, options);
 }
 
 std::vector<Paraclique> extract_all_paracliques(

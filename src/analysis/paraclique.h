@@ -12,6 +12,7 @@
 
 #include "core/clique.h"
 #include "graph/graph_view.h"
+#include "storage/clique_stream.h"
 
 namespace gsb::analysis {
 
@@ -37,6 +38,15 @@ Paraclique grow_paraclique(const graph::GraphView& g,
 /// Convenience: finds a maximum clique (branch and bound) and gloms it.
 Paraclique extract_paraclique(const graph::GraphView& g,
                               const ParacliqueOptions& options = {});
+
+/// Seeds from a `.gsbc` clique stream instead of re-running maximum clique:
+/// one forward pass keeps the largest streamed clique (ties: first
+/// encountered) in O(1) clique memory and gloms it.  Drains the reader;
+/// throws if the stream is empty.  Stream ids must live in \p g's vertex
+/// namespace.
+Paraclique extract_paraclique_from_stream(const graph::GraphView& g,
+                                          storage::GsbcReader& stream,
+                                          const ParacliqueOptions& options = {});
 
 /// Iteratively extracts disjoint paracliques (each round removes the
 /// found members) until none of at least \p min_size remains.

@@ -76,6 +76,13 @@ void DynamicBitset::flip_all() noexcept {
   trim();
 }
 
+void DynamicBitset::assign(BitsetView other) noexcept {
+  assert(nbits_ == other.size());
+  const Word* po = other.data();
+  Word* out = words_.data();
+  for (std::size_t w = 0; w < words_.size(); ++w) out[w] = po[w];
+}
+
 void DynamicBitset::assign_and(BitsetView a, BitsetView b) noexcept {
   assert(a.size() == b.size() && nbits_ == a.size());
   const Word* pa = a.data();

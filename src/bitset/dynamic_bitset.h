@@ -119,6 +119,11 @@ class DynamicBitset {
 
   /// --- allocation-free fused kernels (hot path of the enumerator) -------
 
+  /// this = other (equal universes).  The copy counterpart of assign_and,
+  /// for loading a foreign row (e.g. a mapped adjacency row) into an owned
+  /// working set without an allocation.
+  void assign(BitsetView other) noexcept;
+
   /// this = a AND b.  All three must share one universe; `this` may alias
   /// either operand.
   void assign_and(BitsetView a, BitsetView b) noexcept;

@@ -14,6 +14,7 @@
 //   $ gsb pipeline --out-of-core --genes 20000 --graph-out big.gsbg
 //   $ gsb pipeline --graph-file big.gsbg --threads 8
 //   $ gsb cliques graph.clq --min 4 --threads 8 --count-only
+//   $ gsb cliques big.gsbg --engine bk --threads 8 --clique-out big.gsbc
 //   $ gsb maximum graph.clq
 //   $ gsb generate --kind modules --n 2000 --out graph.clq
 //   $ gsb convert graph.clq graph.gsbg --degree-sort --wah
@@ -25,6 +26,7 @@
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <optional>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -40,14 +42,17 @@
 #include "bio/generator.h"
 #include "bio/normalize.h"
 #include "bio/tiled_correlation.h"
+#include "core/bron_kerbosch.h"
 #include "core/clique.h"
 #include "core/clique_enumerator.h"
 #include "core/maximum_clique.h"
+#include "core/parallel_bk.h"
 #include "core/parallel_enumerator.h"
 #include "graph/generators.h"
 #include "graph/graph_view.h"
 #include "graph/io.h"
 #include "graph/transforms.h"
+#include "storage/clique_stream.h"
 #include "storage/gsbg_writer.h"
 #include "storage/mapped_graph.h"
 #include "util/cli.h"
@@ -100,18 +105,24 @@ pipeline flags:
   --min-paraclique S        stop extraction below size S (5)
   --hubs H                  hub genes reported           (10)
   --seed X                  RNG seed                     (2005)
+  --clique-out FILE.gsbc    stream cliques to disk instead of collecting
   --csv PREFIX              also write PREFIX_*.csv tables
 
-cliques flags: <file|-> [--format dimacs|edges|binary|gsbg] [--min K]
-               [--max K] [--threads P] [--count-only] [--progress]
-maximum flags: <file|-> [--format F]
+cliques flags: <file|-> [--graph-file FILE] [--format dimacs|edges|binary|gsbg]
+               [--min K] [--max K] [--threads P] [--engine bk|enumerator]
+               [--clique-out FILE.gsbc] [--count-only] [--progress]
+               --engine bk = degeneracy-ordered Bron-Kerbosch (parallel via
+               work stealing); enumerator = size-ordered Clique Enumerator.
+               --clique-out spills cliques to a .gsbc stream (bounded memory)
+maximum flags: <file|-> [--graph-file FILE] [--format F]
 generate flags: --kind gnp|modules --n N [--p P | --edges E] --out FILE
-                [--seed X] [--format F]
+                [--seed X] [--format F] [--modules M] [--max-module S]
 convert flags: <in> <out> [--in-format F] [--format F]
                [--degree-sort] [--wah] [--no-bitmap]    (.gsbg outputs)
-info flags:    <file> [--format F] [--verify]
+info flags:    <file> [--format F] [--verify]   (also reads .gsbc streams)
 
 Every flag can also be set through the environment as GSB_<NAME>.
+Full reference with worked examples: docs/CLI.md.
 )");
   return out == stdout ? 0 : 2;
 }
@@ -193,7 +204,7 @@ std::size_t size_flag(const util::Cli& cli, const std::string& name,
   return static_cast<std::size_t>(value);
 }
 
-/// Runs the enumerator (sequential when threads == 1) and collects cliques.
+/// Runs the Clique Enumerator (sequential when threads == 1).
 core::EnumerationStats enumerate(const graph::GraphView& g,
                                  const core::SizeRange& range,
                                  std::size_t threads,
@@ -207,6 +218,35 @@ core::EnumerationStats enumerate(const graph::GraphView& g,
   options.range = range;
   options.threads = threads;
   return core::enumerate_maximal_cliques_parallel(g, sink, options).base;
+}
+
+/// Runs the degeneracy-ordered Bron–Kerbosch engine (`--engine bk`):
+/// sequential at --threads 1, the work-stealing parallel driver otherwise.
+/// \p ordered selects the deterministic merge — callers whose sink is
+/// order-insensitive (pure counting) skip the reorder buffering entirely.
+/// Returns wall seconds; scheduling detail goes to stderr when verbose.
+double run_bk_engine(const graph::GraphView& g, const core::SizeRange& range,
+                     std::size_t threads, const core::CliqueCallback& sink,
+                     bool ordered, bool verbose) {
+  util::Timer timer;
+  if (threads == 1) {
+    core::degeneracy_bk(g, sink, range);
+    return timer.seconds();
+  }
+  core::ParallelBkOptions options;
+  options.range = range;
+  options.threads = threads;
+  options.deterministic = ordered;
+  const auto stats = core::parallel_bk(g, sink, options);
+  if (verbose) {
+    std::fprintf(stderr,
+                 "bk: degeneracy %zu, %zu threads, %llu roots stolen, "
+                 "reorder peak %s\n",
+                 stats.degeneracy, stats.threads,
+                 static_cast<unsigned long long>(stats.steals),
+                 util::format_bytes(stats.peak_pending_bytes).c_str());
+  }
+  return timer.seconds();
 }
 
 void warn_unqueried(const util::Cli& cli) {
@@ -256,6 +296,7 @@ int cmd_pipeline(const util::Cli& cli) {
   const auto min_para = size_flag(cli, "min-paraclique", 5);
   const auto hub_count = size_flag(cli, "hubs", 10);
   const std::string csv = cli.get("csv", "");
+  const std::string clique_out = cli.get("clique-out", "");
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 2005)));
 
   // --- stage 1-3: expression -> normalize -> thresholded correlation graph.
@@ -350,11 +391,44 @@ int cmd_pipeline(const util::Cli& cli) {
   std::printf("maximum clique: %zu vertices (%s)\n", max_result.clique.size(),
               util::format_seconds(max_result.seconds).c_str());
 
-  // --- stage 5: bounded maximal clique enumeration.
-  core::CliqueCollector collector;
+  // --- stage 5: bounded maximal clique enumeration.  With --clique-out the
+  // cliques are spilled to a .gsbc stream as they are emitted; only the
+  // per-vertex participation counts and the size spectrum accumulate in
+  // RAM (both in-flight in the sink).  Otherwise they are collected.
   const core::SizeRange range{init_k, max_k};
-  const auto stats = enumerate(g, range, threads, collector.callback());
-  const auto& cliques = collector.cliques();
+  core::EnumerationStats stats;
+  std::vector<core::Clique> cliques;
+  std::vector<std::uint32_t> participation;
+  analysis::CliqueSpectrum spectrum;
+  if (clique_out.empty()) {
+    core::CliqueCollector collector;
+    stats = enumerate(g, range, threads, collector.callback());
+    cliques = std::move(collector.cliques());
+    spectrum = analysis::clique_spectrum(cliques);
+  } else {
+    storage::GsbcWriter writer(clique_out, g.order());
+    participation.assign(g.order(), 0);
+    std::vector<graph::VertexId> members;
+    const core::CliqueCallback sink =
+        [&](std::span<const graph::VertexId> clique) {
+          for (const graph::VertexId v : clique) ++participation[v];
+          // Spectrum accumulated in-flight — no second pass over a stream
+          // that may dwarf RAM.
+          spectrum.add(clique.size());
+          // The stream stores original labels (the writer re-sorts).
+          members.assign(clique.begin(), clique.end());
+          for (auto& v : members) v = input.original_id(v);
+          writer.append(members);
+        };
+    stats = enumerate(g, range, threads, sink);
+    const auto written = writer.close();
+    std::printf("clique stream: %s <- %llu cliques, %llu members (%s)\n",
+                clique_out.c_str(),
+                static_cast<unsigned long long>(written.clique_count),
+                static_cast<unsigned long long>(written.member_total),
+                util::format_bytes(written.file_bytes).c_str());
+    spectrum.finalize();
+  }
   std::printf("maximal cliques in [%zu, %s]: %llu (%s, %zu threads)\n",
               range.lo,
               range.hi == 0 ? "inf" : std::to_string(range.hi).c_str(),
@@ -363,8 +437,6 @@ int cmd_pipeline(const util::Cli& cli) {
               threads == 0 ? static_cast<std::size_t>(
                                  std::thread::hardware_concurrency())
                            : threads);
-
-  const auto spectrum = analysis::clique_spectrum(cliques);
   util::TableWriter size_table({"clique size", "count"});
   for (const auto& [size, count] : spectrum.size_histogram) {
     size_table.add_row(
@@ -395,7 +467,11 @@ int cmd_pipeline(const util::Cli& cli) {
 
   // --- stage 7: hub report (the paper's Lin7c-style analysis).  Vertex ids
   // are reported in the original labeling even for degree-sorted containers.
-  const auto hubs = analysis::top_hubs(g, cliques, hub_count);
+  // The spill path ranks from the participation counts accumulated during
+  // enumeration — the clique set itself was never held in memory.
+  const auto hubs = clique_out.empty()
+                        ? analysis::top_hubs(g, cliques, hub_count)
+                        : analysis::top_hubs(g, participation, hub_count);
   util::TableWriter hub_table({"rank", "vertex", "degree", "cliques"});
   for (std::size_t i = 0; i < hubs.size(); ++i) {
     hub_table.add_row({util::format("%zu", i + 1),
@@ -419,7 +495,18 @@ int cmd_cliques(const util::Cli& cli) {
     path = cli.positional()[1];
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: gsb cliques <graph-file|-> [flags]\n");
+    std::fprintf(
+        stderr,
+        "usage: gsb cliques <graph-file|-> [--graph-file FILE]\n"
+        "           [--format dimacs|edges|binary|gsbg] [--min K] [--max K]\n"
+        "           [--threads P] [--engine bk|enumerator]\n"
+        "           [--clique-out FILE.gsbc] [--count-only] [--progress]\n");
+    return 2;
+  }
+  const std::string engine = cli.get("engine", "enumerator");
+  if (engine != "bk" && engine != "enumerator") {
+    std::fprintf(stderr, "error: unknown --engine '%s' (bk|enumerator)\n",
+                 engine.c_str());
     return 2;
   }
   GraphInput input = load_input(path, cli.get("format", ""));
@@ -433,33 +520,62 @@ int cmd_cliques(const util::Cli& cli) {
       size_flag(cli, "max", 0)};
   const auto threads = size_flag(cli, "threads", 0);
   const bool count_only = cli.get_bool("count-only", false);
-  if (cli.get_bool("progress", false)) {
+  const std::string clique_out = cli.get("clique-out", "");
+  const bool progress = cli.get_bool("progress", false);
+  if (progress) {
     util::set_log_level(util::LogLevel::kInfo);
   }
   warn_unqueried(cli);
 
+  // Sink chain: always count; optionally spill to a .gsbc stream and/or
+  // print members.  --clique-out replaces stdout emission (the stream *is*
+  // the output), keeping memory bounded — nothing retains the cliques.
+  std::optional<storage::GsbcWriter> writer;
+  if (!clique_out.empty()) writer.emplace(clique_out, g.order());
+  const bool print_members = !count_only && !writer;
   core::CliqueCounter counter;
   auto counting = counter.callback();
   std::vector<graph::VertexId> members;
   const core::CliqueCallback sink =
       [&](std::span<const graph::VertexId> clique) {
         counting(clique);
-        if (!count_only) {
-          // Translate to original labels, then restore ascending order
-          // (the degree-sort permutation scrambles it).
-          members.assign(clique.begin(), clique.end());
-          for (auto& v : members) v = input.original_id(v);
-          std::sort(members.begin(), members.end());
-          for (std::size_t i = 0; i < members.size(); ++i) {
-            std::printf("%s%u", i ? " " : "", members[i]);
-          }
-          std::printf("\n");
+        if (!writer && !print_members) return;
+        // Translate to original labels (the degree-sort permutation
+        // scrambles ascending order; the stream writer canonicalizes it
+        // itself, printing restores it explicitly).
+        members.assign(clique.begin(), clique.end());
+        for (auto& v : members) v = input.original_id(v);
+        if (writer) {
+          writer->append(members);
+          return;
         }
+        std::sort(members.begin(), members.end());
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          std::printf("%s%u", i ? " " : "", members[i]);
+        }
+        std::printf("\n");
       };
-  const auto stats = enumerate(g, range, threads, sink);
-  std::fprintf(stderr, "%llu maximal cliques in %s\n",
-               static_cast<unsigned long long>(stats.total_maximal),
-               util::format_seconds(stats.total_seconds).c_str());
+
+  double seconds = 0.0;
+  if (engine == "bk") {
+    // Deterministic merge only when emission order is observable (clique
+    // lines or a .gsbc stream); pure counting skips the reorder buffer.
+    const bool ordered = writer.has_value() || print_members;
+    seconds = run_bk_engine(g, range, threads, sink, ordered, progress);
+  } else {
+    seconds = enumerate(g, range, threads, sink).total_seconds;
+  }
+  std::fprintf(stderr, "%llu maximal cliques in %s (engine %s)\n",
+               static_cast<unsigned long long>(counter.total()),
+               util::format_seconds(seconds).c_str(), engine.c_str());
+  if (writer) {
+    const auto written = writer->close();
+    std::printf("clique stream: %s <- %llu cliques, %llu members (%s)\n",
+                clique_out.c_str(),
+                static_cast<unsigned long long>(written.clique_count),
+                static_cast<unsigned long long>(written.member_total),
+                util::format_bytes(written.file_bytes).c_str());
+  }
   if (count_only) {
     util::TableWriter table({"size", "maximal cliques"});
     for (const auto& [size, count] : counter.by_size()) {
@@ -480,7 +596,9 @@ int cmd_maximum(const util::Cli& cli) {
     path = cli.positional()[1];
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: gsb maximum <graph-file|-> [--format F]\n");
+    std::fprintf(stderr,
+                 "usage: gsb maximum <graph-file|-> [--graph-file FILE] "
+                 "[--format F]\n");
     return 2;
   }
   GraphInput input = load_input(path, cli.get("format", ""));
@@ -631,6 +749,30 @@ int cmd_info(const util::Cli& cli) {
   const std::string format = cli.get("format", "");
   const bool verify = cli.get_bool("verify", false);
   warn_unqueried(cli);
+
+  // Clique streams are inspectable too: header totals plus the optional
+  // integrity pass, without decoding the records.
+  if (path.size() > 5 && path.ends_with(".gsbc")) {
+    storage::GsbcReader::Options options;
+    options.verify_checksum = verify;
+    const auto reader = storage::GsbcReader::open(path, options);
+    std::printf(
+        "%s: gsbc v%u clique stream, universe %zu vertices\n"
+        "cliques %llu, members %llu, largest %llu, mean size %.2f\n",
+        path.c_str(), reader.header().version, reader.order(),
+        static_cast<unsigned long long>(reader.clique_count()),
+        static_cast<unsigned long long>(reader.member_total()),
+        static_cast<unsigned long long>(reader.max_size()),
+        reader.clique_count() == 0
+            ? 0.0
+            : static_cast<double>(reader.member_total()) /
+                  static_cast<double>(reader.clique_count()));
+    std::printf("file: %s, checksum %016llx%s\n",
+                util::format_bytes(std::filesystem::file_size(path)).c_str(),
+                static_cast<unsigned long long>(reader.header().checksum),
+                verify ? " (verified)" : "");
+    return 0;
+  }
 
   if (graph::detect_graph_format(path, format) != "gsbg") {
     const graph::Graph g = graph::load_graph(path, format);

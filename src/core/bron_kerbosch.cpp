@@ -3,17 +3,20 @@
 #include <vector>
 
 #include "bitset/dynamic_bitset.h"
+#include "core/detail/bk_kernel.h"
+#include "graph/transforms.h"
 
 namespace gsb::core {
 namespace {
 
 using bits::DynamicBitset;
 
-/// Recursion state shared across the search tree.  Per-depth set buffers are
-/// pooled so the hot path performs no allocation after warm-up.
+/// Recursion state shared across the search tree for the two classical
+/// variants.  Per-depth set buffers are pooled so the hot path performs no
+/// allocation after warm-up.
 class BkSearch {
  public:
-  BkSearch(const graph::Graph& g, const CliqueCallback& sink,
+  BkSearch(const graph::GraphView& g, const CliqueCallback& sink,
            BronKerboschVariant variant, const SizeRange& range)
       : g_(g), sink_(sink), variant_(variant), range_(range) {}
 
@@ -88,7 +91,7 @@ class BkSearch {
       }
       candidates.reset(v);
       compsub_.push_back(static_cast<VertexId>(v));
-      const DynamicBitset& nv = g_.neighbors(static_cast<VertexId>(v));
+      const bits::BitsetView nv = g_.neighbors(static_cast<VertexId>(v));
       f.cand.assign_and(candidates, nv);
       f.not_set.assign_and(not_set, nv);
       extend(f.cand, f.not_set, depth + 1);
@@ -97,7 +100,7 @@ class BkSearch {
     }
   }
 
-  const graph::Graph& g_;
+  const graph::GraphView& g_;
   const CliqueCallback& sink_;
   BronKerboschVariant variant_;
   SizeRange range_;
@@ -106,25 +109,59 @@ class BkSearch {
   BronKerboschStats stats_;
 };
 
+/// Degeneracy-ordered outer loop over the shared pivot kernel: vertex v_i
+/// roots the subtree of all maximal cliques whose earliest-ordered member
+/// is v_i, so the subtrees partition the output and the deepest candidate
+/// set is bounded by the degeneracy.
+BronKerboschStats run_degeneracy(const graph::GraphView& g,
+                                 const CliqueCallback& sink,
+                                 const SizeRange& range) {
+  const std::size_t n = g.order();
+  detail::BkPivotSearch search(g, sink, range);
+  const graph::DegeneracyResult deg = graph::degeneracy_order(g);
+  DynamicBitset later(n);  // vertices not yet used as a root
+  later.set_all();
+  DynamicBitset cand(n);
+  DynamicBitset not_set(n);
+  for (const VertexId v : deg.order) {
+    later.reset(v);
+    cand.assign_and(g.neighbors(v), later);
+    not_set.assign(g.neighbors(v));
+    not_set.and_not(later);
+    search.run_root(v, cand, not_set);
+  }
+  return search.stats();
+}
+
 }  // namespace
 
-BronKerboschStats bron_kerbosch(const graph::Graph& g,
+BronKerboschStats bron_kerbosch(const graph::GraphView& g,
                                 const CliqueCallback& sink,
                                 BronKerboschVariant variant,
                                 const SizeRange& range) {
+  if (variant == BronKerboschVariant::kDegeneracy) {
+    return run_degeneracy(g, sink, range);
+  }
   BkSearch search(g, sink, variant, range);
   return search.run();
 }
 
-BronKerboschStats base_bk(const graph::Graph& g, const CliqueCallback& sink,
+BronKerboschStats base_bk(const graph::GraphView& g,
+                          const CliqueCallback& sink,
                           const SizeRange& range) {
   return bron_kerbosch(g, sink, BronKerboschVariant::kBase, range);
 }
 
-BronKerboschStats improved_bk(const graph::Graph& g,
+BronKerboschStats improved_bk(const graph::GraphView& g,
                               const CliqueCallback& sink,
                               const SizeRange& range) {
   return bron_kerbosch(g, sink, BronKerboschVariant::kImproved, range);
+}
+
+BronKerboschStats degeneracy_bk(const graph::GraphView& g,
+                                const CliqueCallback& sink,
+                                const SizeRange& range) {
+  return bron_kerbosch(g, sink, BronKerboschVariant::kDegeneracy, range);
 }
 
 }  // namespace gsb::core

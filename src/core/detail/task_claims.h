@@ -61,6 +61,23 @@ class TaskClaims {
     }
   }
 
+  /// Claims the next unstarted task of a specific \p queue on behalf of
+  /// thread \p tid (or -1 when the queue is drained).  Lets a consumer
+  /// pull a known task range forward — the parallel-BK reorder window
+  /// uses it to drain the next-to-emit root's queue under backpressure
+  /// instead of claiming arbitrary work.  Cross-queue pulls are ordinary
+  /// steals: they are refused when stealing is disabled and counted in
+  /// steals() otherwise, so the static-plan ablation and the transfer
+  /// metric stay honest.
+  std::int64_t claim_from(std::size_t queue, std::size_t tid) noexcept {
+    if (queue != tid && !allow_steal_) return -1;
+    const std::int64_t task = claim(queue);
+    if (task >= 0 && queue != tid) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
   /// Number of tasks executed away from their planned thread.
   [[nodiscard]] std::uint64_t steals() const noexcept {
     return steals_.load(std::memory_order_relaxed);

@@ -1,0 +1,254 @@
+#include "core/parallel_bk.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "bitset/dynamic_bitset.h"
+#include "core/detail/bk_kernel.h"
+#include "core/detail/task_claims.h"
+#include "graph/transforms.h"
+#include "parallel/thread_pool.h"
+#include "util/timer.h"
+
+namespace gsb::core {
+namespace {
+
+using bits::DynamicBitset;
+using graph::VertexId;
+
+/// Serializing reorder-buffer sink: workers hand in one flat buffer of
+/// size-prefixed cliques per completed root; the buffer is emitted once
+/// every earlier root has been emitted (deterministic mode) or immediately
+/// (completion order).  The sink only ever runs under the mutex, so it is
+/// never invoked concurrently, and pending bytes are accounted and held to
+/// a window by backpressure, exploiting a structural fact: every queue of
+/// the assignment is ascending in task index, so the next-to-emit root is
+/// always at the head of whichever queue still holds it.  A worker whose
+/// gate finds the window full therefore either waits (the next-to-emit
+/// root is already running on some thread — its completion must be waited
+/// *for*) or is redirected to claim exactly that root's queue head, which
+/// drains the merge instead of growing it.  Deadlock-free: a thread only
+/// ever waits while another thread is running the root the merge needs,
+/// and that runner never waits (the gate sits between roots).
+class ReorderEmitter {
+ public:
+  /// Sentinel for "claim from your own queue as usual".
+  static constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
+
+  ReorderEmitter(std::size_t roots, const CliqueCallback& sink,
+                 bool deterministic, std::size_t window_bytes,
+                 const std::vector<std::uint32_t>& queue_of,
+                 util::MemoryTracker& tracker)
+      : sink_(sink),
+        deterministic_(deterministic),
+        window_bytes_(window_bytes),
+        queue_of_(queue_of),
+        tracker_(tracker),
+        pending_(deterministic ? roots : 0),
+        done_(deterministic ? roots : 0, false),
+        claimed_(deterministic ? roots : 0, false) {}
+
+  ~ReorderEmitter() {
+    // All roots drain before the round ends; release is for the window
+    // accounting of an exception path only.
+    tracker_.release(pending_bytes_, util::MemTag::kCliqueStorage);
+  }
+
+  /// Called by a worker before claiming its next root.  Returns kNoTarget
+  /// for a normal claim, or the queue whose head the worker should claim
+  /// to pull the next-to-emit root forward.
+  std::size_t backpressure_gate() {
+    if (!deterministic_ || window_bytes_ == 0) return kNoTarget;
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_cv_.wait(lock, [&] {
+      return pending_bytes_ <= window_bytes_ || cursor_ >= pending_.size() ||
+             !claimed_[cursor_];
+    });
+    if (pending_bytes_ > window_bytes_ && cursor_ < pending_.size()) {
+      return queue_of_[cursor_];
+    }
+    return kNoTarget;
+  }
+
+  /// Called by a worker right after claiming root \p root_index.
+  void note_claimed(std::size_t root_index) {
+    if (!deterministic_) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    claimed_[root_index] = true;
+  }
+
+  void complete(std::size_t root_index, std::vector<VertexId>&& cliques) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!deterministic_) {
+      drain(cliques);
+      return;
+    }
+    const std::size_t bytes = cliques.size() * sizeof(VertexId);
+    pending_bytes_ += bytes;
+    peak_pending_bytes_ = std::max(peak_pending_bytes_, pending_bytes_);
+    tracker_.allocate(bytes, util::MemTag::kCliqueStorage);
+    pending_[root_index] = std::move(cliques);
+    done_[root_index] = true;
+    bool advanced = false;
+    while (cursor_ < pending_.size() && done_[cursor_]) {
+      drain(pending_[cursor_]);
+      const std::size_t freed = pending_[cursor_].size() * sizeof(VertexId);
+      tracker_.release(freed, util::MemTag::kCliqueStorage);
+      pending_bytes_ -= freed;
+      pending_[cursor_] = {};
+      ++cursor_;
+      advanced = true;
+    }
+    if (advanced) drained_cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t peak_pending_bytes() const noexcept {
+    return peak_pending_bytes_;
+  }
+
+ private:
+  void drain(const std::vector<VertexId>& flat) {
+    std::size_t i = 0;
+    while (i < flat.size()) {
+      const std::size_t size = flat[i++];
+      sink_(std::span<const VertexId>(&flat[i], size));
+      i += size;
+    }
+  }
+
+  const CliqueCallback& sink_;
+  bool deterministic_;
+  std::size_t window_bytes_;
+  const std::vector<std::uint32_t>& queue_of_;  ///< task index -> queue
+  util::MemoryTracker& tracker_;
+  std::mutex mutex_;
+  std::condition_variable drained_cv_;
+  std::vector<std::vector<VertexId>> pending_;
+  std::vector<bool> done_;
+  std::vector<bool> claimed_;
+  std::size_t cursor_ = 0;
+  std::size_t pending_bytes_ = 0;
+  std::size_t peak_pending_bytes_ = 0;
+};
+
+}  // namespace
+
+ParallelBkStats parallel_bk(const graph::GraphView& g,
+                            const CliqueCallback& sink,
+                            const ParallelBkOptions& options) {
+  util::Timer total_timer;
+  ParallelBkStats stats;
+  util::MemoryTracker& tracker = options.tracker != nullptr
+                                     ? *options.tracker
+                                     : util::global_memory_tracker();
+  const std::size_t n = g.order();
+  const std::size_t num_threads = options.threads != 0
+                                      ? options.threads
+                                      : par::ThreadPool::default_threads();
+  stats.threads = num_threads;
+  stats.thread_busy_seconds.assign(num_threads, 0.0);
+  if (n == 0) {
+    stats.total_seconds = total_timer.seconds();
+    return stats;
+  }
+
+  // --- plan: one task per degeneracy root -----------------------------------
+  const graph::DegeneracyResult deg = graph::degeneracy_order(g);
+  stats.degeneracy = deg.degeneracy;
+  std::vector<std::size_t> pos(n);
+  for (std::size_t i = 0; i < n; ++i) pos[deg.order[i]] = i;
+
+  // Cost estimate: the root's CANDIDATES size c (later-ordered neighbors)
+  // bounds its subtree by 3^(c/3); the cubic proxy matches the seeding
+  // estimator of the parallel Clique Enumerator and only needs to rank
+  // roots, not predict absolute cost.
+  std::vector<std::uint64_t> costs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = deg.order[i];
+    std::uint64_t later = 0;
+    g.neighbors(v).for_each([&](std::size_t u) {
+      if (pos[u] > i) ++later;
+    });
+    costs[i] = later * later * later / 6 + later + 1;
+  }
+  // Roots are dealt round-robin so every thread's queue spans the whole
+  // root order: the reorder buffer then drains steadily instead of waiting
+  // for thread 0's contiguous block to finish.
+  std::vector<std::uint32_t> home(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    home[i] = static_cast<std::uint32_t>(i % num_threads);
+  }
+  const par::LoadBalancer balancer(options.balancer);
+  const par::Assignment assignment = balancer.assign(costs, home, num_threads);
+  stats.transfers = assignment.transfers;
+  detail::TaskClaims claims(assignment, options.dynamic_claiming);
+
+  std::vector<std::uint32_t> queue_of(n, 0);
+  for (std::uint32_t t = 0; t < num_threads; ++t) {
+    for (const std::uint32_t task_index : assignment.tasks[t]) {
+      queue_of[task_index] = t;
+    }
+  }
+  ReorderEmitter emitter(n, sink, options.deterministic,
+                         options.reorder_window_bytes, queue_of, tracker);
+  std::vector<BronKerboschStats> worker_stats(num_threads);
+
+  par::ThreadPool pool(num_threads);
+  pool.run_round([&](std::size_t tid) {
+    const double cpu_begin = util::thread_cpu_seconds();
+    // Per-root output buffer, flat size-prefixed records; the sink below
+    // appends to whichever buffer is current.
+    std::vector<VertexId> buffer;
+    const CliqueCallback local_sink =
+        [&buffer](std::span<const VertexId> clique) {
+          buffer.push_back(static_cast<VertexId>(clique.size()));
+          buffer.insert(buffer.end(), clique.begin(), clique.end());
+        };
+    detail::BkPivotSearch search(g, local_sink, options.range);
+    DynamicBitset cand(n);
+    DynamicBitset not_set(n);
+    while (true) {
+      const std::size_t target = emitter.backpressure_gate();
+      std::int64_t task = target == ReorderEmitter::kNoTarget
+                              ? claims.next(tid)
+                              : claims.claim_from(target, tid);
+      if (task < 0 && target != ReorderEmitter::kNoTarget) {
+        // Lost the race for the merge's root — or a static plan forbids
+        // the cross-queue pull; fall back to the normal claim.
+        task = claims.next(tid);
+      }
+      if (task < 0) break;
+      const auto i = static_cast<std::size_t>(task);
+      emitter.note_claimed(i);
+      const VertexId v = deg.order[i];
+      cand.clear_all();
+      not_set.clear_all();
+      g.neighbors(v).for_each([&](std::size_t u) {
+        if (pos[u] > i) {
+          cand.set(u);
+        } else {
+          not_set.set(u);
+        }
+      });
+      search.run_root(v, cand, not_set);
+      emitter.complete(i, std::move(buffer));
+      buffer.clear();
+    }
+    worker_stats[tid] = search.stats();
+    stats.thread_busy_seconds[tid] = util::thread_cpu_seconds() - cpu_begin;
+  });
+
+  stats.steals = claims.steals();
+  stats.peak_pending_bytes = emitter.peak_pending_bytes();
+  for (const BronKerboschStats& ws : worker_stats) {
+    stats.base.maximal_cliques += ws.maximal_cliques;
+    stats.base.tree_nodes += ws.tree_nodes;
+    stats.base.max_depth = std::max(stats.base.max_depth, ws.max_depth);
+  }
+  stats.total_seconds = total_timer.seconds();
+  return stats;
+}
+
+}  // namespace gsb::core

@@ -68,7 +68,7 @@ InducedSubgraph kcore_subgraph(const GraphView& g, std::size_t k) {
   return induced_subgraph(g, survivors);
 }
 
-DegeneracyResult degeneracy_order(const Graph& g) {
+DegeneracyResult degeneracy_order(const GraphView& g) {
   const std::size_t n = g.order();
   DegeneracyResult result;
   result.order.reserve(n);

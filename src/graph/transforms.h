@@ -39,11 +39,14 @@ bits::DynamicBitset kcore_mask(const GraphView& g, std::size_t k);
 InducedSubgraph kcore_subgraph(const GraphView& g, std::size_t k);
 
 /// Degeneracy ordering (repeatedly remove a minimum-degree vertex).
+/// Accepts any GraphView, so the ordering can be computed directly off a
+/// memory-mapped .gsbg (the degeneracy-ordered Bron–Kerbosch outer loop
+/// depends on this).
 struct DegeneracyResult {
   std::vector<VertexId> order;  ///< removal order
   std::size_t degeneracy = 0;   ///< max degree at removal time
 };
-DegeneracyResult degeneracy_order(const Graph& g);
+DegeneracyResult degeneracy_order(const GraphView& g);
 
 /// Connected components: `component[v]` in [0, count).
 struct Components {

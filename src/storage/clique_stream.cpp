@@ -1,0 +1,213 @@
+#include "storage/clique_stream.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace gsb::storage {
+namespace {
+
+constexpr std::size_t kIoBuffer = 1 << 16;  ///< 64 KiB writer/reader chunks
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("gsbc: " + what);
+}
+
+void serialize_header(char (&buffer)[kGsbcHeaderBytes],
+                      const GsbcHeader& header) {
+  std::memset(buffer, 0, sizeof(buffer));
+  std::memcpy(buffer, kGsbcMagic, sizeof(kGsbcMagic));
+  std::memcpy(buffer + 8, &header.version, 4);
+  std::memcpy(buffer + 12, &header.flags, 4);
+  std::memcpy(buffer + 16, &header.n, 8);
+  std::memcpy(buffer + 24, &header.clique_count, 8);
+  std::memcpy(buffer + 32, &header.member_total, 8);
+  std::memcpy(buffer + 40, &header.max_size, 8);
+  std::memcpy(buffer + 48, &header.checksum, 8);
+}
+
+}  // namespace
+
+// --- writer -----------------------------------------------------------------
+
+GsbcWriter::GsbcWriter(const std::string& path, std::size_t order)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) fail("cannot open '" + path + "' for writing");
+  header_.n = order;
+  char raw[kGsbcHeaderBytes];
+  serialize_header(raw, header_);  // placeholder; patched in close()
+  out_.write(raw, sizeof(raw));
+  buffer_.reserve(kIoBuffer);
+  open_ = true;
+}
+
+GsbcWriter::~GsbcWriter() {
+  if (open_) {
+    try {
+      close();
+    } catch (...) {  // NOLINT — destructor must not throw
+    }
+  }
+}
+
+void GsbcWriter::put_varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<unsigned char>(value) | 0x80u);
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<unsigned char>(value));
+}
+
+void GsbcWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  sum_.update(buffer_.data(), buffer_.size());
+  out_.write(reinterpret_cast<const char*>(buffer_.data()),
+             static_cast<std::streamsize>(buffer_.size()));
+  payload_bytes_ += buffer_.size();
+  buffer_.clear();
+}
+
+void GsbcWriter::append(std::span<const graph::VertexId> clique) {
+  if (!open_) fail("append on a closed writer");
+  if (clique.empty()) fail("empty clique");
+  scratch_.assign(clique.begin(), clique.end());
+  std::sort(scratch_.begin(), scratch_.end());
+  // Validate fully before emitting a single byte: a rejected clique must
+  // leave the stream exactly as it was (a caller may catch and continue).
+  if (scratch_.back() >= header_.n) {
+    fail("member id out of range for the declared vertex universe");
+  }
+  for (std::size_t i = 1; i < scratch_.size(); ++i) {
+    if (scratch_[i] == scratch_[i - 1]) fail("duplicate member in clique");
+  }
+  put_varint(scratch_.size());
+  put_varint(scratch_.front());
+  for (std::size_t i = 1; i < scratch_.size(); ++i) {
+    put_varint(scratch_[i] - scratch_[i - 1]);
+  }
+  ++header_.clique_count;
+  header_.member_total += scratch_.size();
+  header_.max_size = std::max<std::uint64_t>(header_.max_size,
+                                             scratch_.size());
+  if (buffer_.size() >= kIoBuffer) flush_buffer();
+}
+
+GsbcWriteStats GsbcWriter::close() {
+  if (!open_) fail("double close");
+  open_ = false;
+  flush_buffer();
+  header_.checksum = sum_.digest();
+  char raw[kGsbcHeaderBytes];
+  serialize_header(raw, header_);
+  out_.seekp(0);
+  out_.write(raw, sizeof(raw));
+  out_.flush();
+  if (!out_) fail("write failed for '" + path_ + "'");
+  out_.close();
+  return GsbcWriteStats{header_.clique_count, header_.member_total,
+                        header_.max_size,
+                        kGsbcHeaderBytes + payload_bytes_};
+}
+
+// --- reader -----------------------------------------------------------------
+
+GsbcReader GsbcReader::open(const std::string& path, const Options& options) {
+  GsbcReader reader;
+  reader.in_.open(path, std::ios::binary);
+  if (!reader.in_) fail("cannot open '" + path + "'");
+
+  char raw[kGsbcHeaderBytes];
+  reader.in_.read(raw, sizeof(raw));
+  if (reader.in_.gcount() != static_cast<std::streamsize>(sizeof(raw))) {
+    fail("file shorter than the header");
+  }
+  if (std::memcmp(raw, kGsbcMagic, sizeof(kGsbcMagic)) != 0) {
+    fail("bad magic (not a .gsbc file)");
+  }
+  GsbcHeader& header = reader.header_;
+  std::memcpy(&header.version, raw + 8, 4);
+  std::memcpy(&header.flags, raw + 12, 4);
+  std::memcpy(&header.n, raw + 16, 8);
+  std::memcpy(&header.clique_count, raw + 24, 8);
+  std::memcpy(&header.member_total, raw + 32, 8);
+  std::memcpy(&header.max_size, raw + 40, 8);
+  std::memcpy(&header.checksum, raw + 48, 8);
+  if (header.version != kGsbcVersion) {
+    fail("unsupported version " + std::to_string(header.version));
+  }
+  if (header.max_size > header.member_total ||
+      (header.clique_count == 0) != (header.member_total == 0)) {
+    fail("inconsistent header counts");
+  }
+
+  if (options.verify_checksum) {
+    Fnv1a sum;
+    std::vector<unsigned char> chunk(kIoBuffer);
+    while (reader.in_) {
+      reader.in_.read(reinterpret_cast<char*>(chunk.data()),
+                      static_cast<std::streamsize>(chunk.size()));
+      const std::streamsize got = reader.in_.gcount();
+      if (got <= 0) break;
+      sum.update(chunk.data(), static_cast<std::size_t>(got));
+    }
+    if (sum.digest() != header.checksum) fail("checksum mismatch");
+    reader.in_.clear();
+    reader.in_.seekg(kGsbcHeaderBytes);
+  }
+
+  reader.buffer_.resize(kIoBuffer);
+  return reader;
+}
+
+bool GsbcReader::fill() {
+  in_.read(reinterpret_cast<char*>(buffer_.data()),
+           static_cast<std::streamsize>(buffer_.size()));
+  buf_end_ = static_cast<std::size_t>(in_.gcount());
+  buf_pos_ = 0;
+  return buf_end_ > 0;
+}
+
+std::uint64_t GsbcReader::read_varint() {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  while (true) {
+    if (buf_pos_ == buf_end_ && !fill()) {
+      fail("truncated record (unexpected end of stream)");
+    }
+    const unsigned char byte = buffer_[buf_pos_++];
+    if (shift >= 63 && (byte >> 1) != 0) fail("varint overflow");
+    value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) return value;
+    shift += 7;
+  }
+}
+
+bool GsbcReader::next(std::vector<graph::VertexId>& out) {
+  if (buf_pos_ == buf_end_ && !fill()) {
+    if (cliques_read_ != header_.clique_count) {
+      fail("stream ended after " + std::to_string(cliques_read_) + " of " +
+           std::to_string(header_.clique_count) + " cliques");
+    }
+    return false;
+  }
+  if (cliques_read_ == header_.clique_count) {
+    fail("trailing bytes after the declared clique count");
+  }
+  const std::uint64_t size = read_varint();
+  if (size == 0 || size > header_.n) fail("record size out of range");
+  out.clear();
+  out.reserve(size);
+  std::uint64_t member = read_varint();
+  for (std::uint64_t i = 0;; ++i) {
+    if (member >= header_.n) fail("member id out of range");
+    out.push_back(static_cast<graph::VertexId>(member));
+    if (i + 1 == size) break;
+    const std::uint64_t delta = read_varint();
+    if (delta == 0) fail("non-ascending member delta");
+    member += delta;
+  }
+  ++cliques_read_;
+  return true;
+}
+
+}  // namespace gsb::storage

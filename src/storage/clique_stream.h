@@ -1,0 +1,128 @@
+#ifndef GSB_STORAGE_CLIQUE_STREAM_H
+#define GSB_STORAGE_CLIQUE_STREAM_H
+
+/// \file clique_stream.h
+/// Sequential writer and iterator reader for the `.gsbc` clique-stream
+/// container (byte layout in gsbc_format.h / docs/FORMATS.md).
+///
+/// The writer is an append-only sink: one buffered pass, O(largest clique)
+/// memory, header (counts + checksum) patched on close.  It accepts
+/// cliques in any member order and canonicalizes to ascending ids before
+/// delta coding, so it can sit directly behind any enumerator's
+/// CliqueCallback.  The reader is a strict forward scan returning one
+/// clique at a time — `analysis::clique_spectrum`, participation counting
+/// and paraclique seeding all consume it in O(1) clique memory, which is
+/// the whole point: the clique set never has to exist in RAM at once.
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "storage/gsbc_format.h"
+
+namespace gsb::storage {
+
+/// Totals reported by GsbcWriter::close().
+struct GsbcWriteStats {
+  std::uint64_t clique_count = 0;
+  std::uint64_t member_total = 0;
+  std::uint64_t max_size = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+/// Streaming `.gsbc` writer.
+class GsbcWriter {
+ public:
+  /// Opens \p path for writing and reserves the header.  \p order is the
+  /// vertex universe of the source graph (member ids must be < order).
+  GsbcWriter(const std::string& path, std::size_t order);
+
+  /// Closes (best effort) if close() was never called; errors are
+  /// swallowed — call close() to observe them.
+  ~GsbcWriter();
+
+  GsbcWriter(const GsbcWriter&) = delete;
+  GsbcWriter& operator=(const GsbcWriter&) = delete;
+
+  /// Appends one clique (any member order; duplicates are invalid and
+  /// rejected, as is an id >= order or an empty clique).
+  void append(std::span<const graph::VertexId> clique);
+
+  /// Flushes, patches the header with counts and checksum, and closes.
+  GsbcWriteStats close();
+
+  [[nodiscard]] std::uint64_t clique_count() const noexcept {
+    return header_.clique_count;
+  }
+
+ private:
+  void put_varint(std::uint64_t value);
+  void flush_buffer();
+
+  std::string path_;
+  std::ofstream out_;
+  GsbcHeader header_;
+  Fnv1a sum_;
+  std::vector<unsigned char> buffer_;
+  std::vector<graph::VertexId> scratch_;  ///< sort buffer, one clique
+  std::uint64_t payload_bytes_ = 0;
+  bool open_ = false;
+};
+
+/// Forward-iterating `.gsbc` reader.
+class GsbcReader {
+ public:
+  struct Options {
+    /// Re-hash the payload at open and reject on checksum mismatch (one
+    /// extra sequential pass).  Off by default, as for .gsbg.
+    bool verify_checksum = false;
+  };
+
+  /// Opens \p path, validating magic, version and header/file coherence.
+  /// Throws std::runtime_error on any malformation.
+  static GsbcReader open(const std::string& path, const Options& options);
+  static GsbcReader open(const std::string& path) {
+    return open(path, Options{});
+  }
+
+  GsbcReader(GsbcReader&&) = default;
+  GsbcReader& operator=(GsbcReader&&) = default;
+
+  [[nodiscard]] const GsbcHeader& header() const noexcept { return header_; }
+  [[nodiscard]] std::size_t order() const noexcept { return header_.n; }
+  [[nodiscard]] std::uint64_t clique_count() const noexcept {
+    return header_.clique_count;
+  }
+  [[nodiscard]] std::uint64_t member_total() const noexcept {
+    return header_.member_total;
+  }
+  [[nodiscard]] std::uint64_t max_size() const noexcept {
+    return header_.max_size;
+  }
+
+  /// Reads the next clique into \p out (ascending member ids).  Returns
+  /// false at a clean end of stream; throws on truncation, malformed
+  /// varints, non-ascending members, ids >= order(), or a record count
+  /// that disagrees with the header.
+  bool next(std::vector<graph::VertexId>& out);
+
+ private:
+  GsbcReader() = default;
+
+  [[nodiscard]] bool fill();
+  [[nodiscard]] std::uint64_t read_varint();
+
+  std::ifstream in_;
+  GsbcHeader header_;
+  std::vector<unsigned char> buffer_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_end_ = 0;
+  std::uint64_t cliques_read_ = 0;
+};
+
+}  // namespace gsb::storage
+
+#endif  // GSB_STORAGE_CLIQUE_STREAM_H

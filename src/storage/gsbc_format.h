@@ -1,0 +1,61 @@
+#ifndef GSB_STORAGE_GSBC_FORMAT_H
+#define GSB_STORAGE_GSBC_FORMAT_H
+
+/// \file gsbc_format.h
+/// On-disk layout of the `.gsbc` clique-stream container — the output-side
+/// half of the out-of-core engine, next to the `.gsbg` graph container.
+///
+/// The paper's instances produce clique sets that dwarf the graphs they
+/// come from, so enumeration output must stream to disk instead of
+/// accumulating in RAM.  A `.gsbc` file is an append-only record stream
+/// with a fixed 64-byte header patched on close.  All integers are
+/// little-endian; varints are unsigned LEB128 (7 payload bits per byte,
+/// high bit = continuation).  Byte layout:
+///
+///   Header (64 bytes, offset 0):
+///     char[8]  magic         "GSBCLQS1"
+///     u32      version       kGsbcVersion
+///     u32      flags         zero (reserved)
+///     u64      n             vertex universe of the source graph
+///     u64      clique_count  number of records
+///     u64      member_total  sum of record sizes
+///     u64      max_size      largest record size (0 when empty)
+///     u64      checksum      FNV-1a 64 over bytes [64, file size)
+///     u64      reserved      zero
+///   Records (offset 64, back to back):
+///     varint   size          member count, >= 1
+///     varint   member[0]     smallest member id
+///     varint   delta[i]      member[i] - member[i-1] for i in [1, size),
+///                            always >= 1 (members strictly ascending)
+///
+/// Delta-varint coding makes dense genome-scale clique sets compact (most
+/// deltas fit one byte) while keeping the reader a strict forward scan —
+/// no index, no seeks, O(1) memory per clique.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/gsbg_format.h"  // Fnv1a — the shared integrity checksum
+
+namespace gsb::storage {
+
+inline constexpr char kGsbcMagic[8] = {'G', 'S', 'B', 'C', 'L', 'Q', 'S',
+                                       '1'};
+inline constexpr std::uint32_t kGsbcVersion = 1;
+inline constexpr std::size_t kGsbcHeaderBytes = 64;
+
+/// In-memory mirror of the fixed header (not the serialized form; the
+/// reader/writer move fields explicitly to stay layout-exact).
+struct GsbcHeader {
+  std::uint32_t version = kGsbcVersion;
+  std::uint32_t flags = 0;
+  std::uint64_t n = 0;
+  std::uint64_t clique_count = 0;
+  std::uint64_t member_total = 0;
+  std::uint64_t max_size = 0;
+  std::uint64_t checksum = 0;
+};
+
+}  // namespace gsb::storage
+
+#endif  // GSB_STORAGE_GSBC_FORMAT_H

@@ -85,12 +85,15 @@ TEST(BronKerbosch, StatsTrackDepthAndNodes) {
 class BkEquivalenceTest
     : public ::testing::TestWithParam<std::tuple<std::size_t, double, int>> {};
 
-TEST_P(BkEquivalenceTest, BothVariantsMatchReference) {
+TEST_P(BkEquivalenceTest, AllVariantsMatchReference) {
   const auto [n, p, seed] = GetParam();
   const auto g = test::random_graph(n, p, static_cast<std::uint64_t>(seed));
   const auto expect = reference_maximal_cliques(g);
   EXPECT_EQ(test::run_base_bk(g), expect);
   EXPECT_EQ(test::run_improved_bk(g), expect);
+  CliqueCollector degeneracy;
+  degeneracy_bk(g, degeneracy.callback());
+  EXPECT_EQ(normalize(std::move(degeneracy.cliques())), expect);
 }
 
 INSTANTIATE_TEST_SUITE_P(

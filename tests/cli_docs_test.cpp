@@ -1,0 +1,106 @@
+// Consistency between docs/CLI.md and the gsb driver source: every flag
+// documented in the reference must be accepted (queried) by gsb_main.cpp,
+// and every flag the driver's usage/help text advertises must be
+// documented.  This is what keeps the usage strings from drifting away
+// from the manual again (the drift this suite was introduced to fix).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string source_path(const char* relative) {
+  return std::string(GSB_SOURCE_DIR) + "/" + relative;
+}
+
+/// All `--flag` tokens in \p text (lowercase word chars and dashes after
+/// a leading "--"; `---` rules and em-dashes never match).
+std::set<std::string> flag_tokens(const std::string& text) {
+  std::set<std::string> flags;
+  static const std::regex pattern("--([a-z][a-z0-9-]*)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), pattern);
+       it != std::sregex_iterator(); ++it) {
+    flags.insert((*it)[1].str());
+  }
+  return flags;
+}
+
+/// Flag names the driver actually queries: util::Cli accessors plus the
+/// local size_flag helper.
+std::set<std::string> queried_flags(const std::string& source) {
+  std::set<std::string> flags;
+  static const std::regex accessors(
+      R"re(cli\.(?:get|get_bool|get_int|get_double|has)\(\s*"([a-z][a-z0-9-]*)")re");
+  for (auto it = std::sregex_iterator(source.begin(), source.end(),
+                                      accessors);
+       it != std::sregex_iterator(); ++it) {
+    flags.insert((*it)[1].str());
+  }
+  static const std::regex size_helper(
+      R"re(size_flag\(cli,\s*"([a-z][a-z0-9-]*)")re");
+  for (auto it = std::sregex_iterator(source.begin(), source.end(),
+                                      size_helper);
+       it != std::sregex_iterator(); ++it) {
+    flags.insert((*it)[1].str());
+  }
+  return flags;
+}
+
+std::string join(const std::set<std::string>& flags) {
+  std::string out;
+  for (const auto& flag : flags) out += " --" + flag;
+  return out;
+}
+
+TEST(CliDocs, EveryDocumentedFlagIsAcceptedByGsb) {
+  const auto documented = flag_tokens(read_file(source_path("docs/CLI.md")));
+  const auto queried =
+      queried_flags(read_file(source_path("src/cli/gsb_main.cpp")));
+  ASSERT_FALSE(documented.empty());
+  ASSERT_FALSE(queried.empty());
+  std::set<std::string> unknown;
+  for (const auto& flag : documented) {
+    if (!queried.contains(flag)) unknown.insert(flag);
+  }
+  EXPECT_TRUE(unknown.empty())
+      << "docs/CLI.md documents flags gsb never reads:" << join(unknown);
+}
+
+TEST(CliDocs, EveryAdvertisedFlagIsDocumented) {
+  const auto documented = flag_tokens(read_file(source_path("docs/CLI.md")));
+  // The driver source's flag mentions live in its usage/help strings and
+  // header examples — all user-visible, so all must appear in the manual.
+  const auto advertised =
+      flag_tokens(read_file(source_path("src/cli/gsb_main.cpp")));
+  ASSERT_FALSE(advertised.empty());
+  std::set<std::string> undocumented;
+  for (const auto& flag : advertised) {
+    if (!documented.contains(flag)) undocumented.insert(flag);
+  }
+  EXPECT_TRUE(undocumented.empty())
+      << "gsb help text mentions flags missing from docs/CLI.md:"
+      << join(undocumented);
+}
+
+TEST(CliDocs, ReadmeLinksTheDocSet) {
+  const auto readme = read_file(source_path("README.md"));
+  EXPECT_NE(readme.find("docs/ARCHITECTURE.md"), std::string::npos);
+  EXPECT_NE(readme.find("docs/CLI.md"), std::string::npos);
+  EXPECT_NE(readme.find("docs/FORMATS.md"), std::string::npos);
+  EXPECT_NE(readme.find("docs/PERFORMANCE.md"), std::string::npos);
+}
+
+}  // namespace

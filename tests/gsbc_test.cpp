@@ -1,0 +1,248 @@
+// Tests for the .gsbc clique-stream container: write -> read round trips,
+// header totals, corruption rejection, and the streaming analysis
+// consumers (spectrum, participation, paraclique seeding).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/clique_stats.h"
+#include "analysis/paraclique.h"
+#include "core/bron_kerbosch.h"
+#include "core/parallel_bk.h"
+#include "storage/clique_stream.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace gsb::storage {
+namespace {
+
+namespace fs = std::filesystem;
+using core::Clique;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+/// Random strictly-ascending member sets over [0, order).
+std::vector<Clique> random_clique_set(std::size_t order, std::size_t count,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Clique> cliques;
+  cliques.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(1, 13));
+    Clique clique;
+    auto v = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(order / 4)));
+    for (std::size_t j = 0; j < size && v < order; ++j) {
+      clique.push_back(static_cast<graph::VertexId>(v));
+      v += static_cast<std::uint64_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(order / 8 + 1)));
+    }
+    if (!clique.empty()) cliques.push_back(std::move(clique));
+  }
+  return cliques;
+}
+
+std::vector<Clique> read_all(GsbcReader& reader) {
+  std::vector<Clique> out;
+  Clique clique;
+  while (reader.next(clique)) out.push_back(clique);
+  return out;
+}
+
+TEST(GsbcStream, RoundTripsSeededCliqueSets) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const std::size_t order = 200 + seed * 100;
+    const auto cliques = random_clique_set(order, 500, seed);
+    const std::string path =
+        temp_path("gsbc_roundtrip_" + std::to_string(seed) + ".gsbc");
+    std::uint64_t member_total = 0;
+    std::uint64_t max_size = 0;
+    {
+      GsbcWriter writer(path, order);
+      for (const auto& clique : cliques) {
+        writer.append(clique);
+        member_total += clique.size();
+        max_size = std::max<std::uint64_t>(max_size, clique.size());
+      }
+      const auto stats = writer.close();
+      EXPECT_EQ(stats.clique_count, cliques.size());
+      EXPECT_EQ(stats.member_total, member_total);
+      EXPECT_EQ(stats.max_size, max_size);
+      EXPECT_EQ(stats.file_bytes, fs::file_size(path));
+    }
+    GsbcReader::Options verify;
+    verify.verify_checksum = true;
+    auto reader = GsbcReader::open(path, verify);
+    EXPECT_EQ(reader.order(), order);
+    EXPECT_EQ(reader.clique_count(), cliques.size());
+    EXPECT_EQ(reader.member_total(), member_total);
+    EXPECT_EQ(reader.max_size(), max_size);
+    EXPECT_EQ(read_all(reader), cliques);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(GsbcStream, WriterCanonicalizesMemberOrder) {
+  const std::string path = temp_path("gsbc_sort.gsbc");
+  {
+    GsbcWriter writer(path, 100);
+    const std::vector<graph::VertexId> scrambled{42, 7, 99, 0};
+    writer.append(scrambled);
+    writer.close();
+  }
+  auto reader = GsbcReader::open(path);
+  const auto cliques = read_all(reader);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0], (Clique{0, 7, 42, 99}));
+  std::remove(path.c_str());
+}
+
+TEST(GsbcStream, EmptyStreamIsValid) {
+  const std::string path = temp_path("gsbc_empty.gsbc");
+  {
+    GsbcWriter writer(path, 10);
+    writer.close();
+  }
+  GsbcReader::Options verify;
+  verify.verify_checksum = true;
+  auto reader = GsbcReader::open(path, verify);
+  EXPECT_EQ(reader.clique_count(), 0u);
+  Clique clique;
+  EXPECT_FALSE(reader.next(clique));
+  std::remove(path.c_str());
+}
+
+TEST(GsbcStream, WriterRejectsMalformedCliques) {
+  const std::string path = temp_path("gsbc_reject.gsbc");
+  GsbcWriter writer(path, 10);
+  EXPECT_THROW(writer.append(std::vector<graph::VertexId>{}),
+               std::runtime_error);
+  EXPECT_THROW(writer.append(std::vector<graph::VertexId>{3, 3}),
+               std::runtime_error);
+  EXPECT_THROW(writer.append(std::vector<graph::VertexId>{10}),
+               std::runtime_error);
+  writer.append(std::vector<graph::VertexId>{0, 9});
+  writer.close();
+  std::remove(path.c_str());
+}
+
+TEST(GsbcStream, RejectsCorruption) {
+  const std::string path = temp_path("gsbc_corrupt.gsbc");
+  {
+    GsbcWriter writer(path, 50);
+    for (const auto& clique : random_clique_set(50, 40, 3)) {
+      writer.append(clique);
+    }
+    writer.close();
+  }
+  const auto size = fs::file_size(path);
+
+  // Payload bit flip: caught by the checksum pass.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(size - 3));
+    const char byte = 0x7F;
+    f.write(&byte, 1);
+  }
+  GsbcReader::Options verify;
+  verify.verify_checksum = true;
+  EXPECT_THROW(GsbcReader::open(path, verify), std::runtime_error);
+
+  // Truncation: the forward scan must fail loudly, not end cleanly.
+  fs::resize_file(path, size - 4);
+  auto truncated = GsbcReader::open(path);
+  Clique clique;
+  EXPECT_THROW(
+      {
+        while (truncated.next(clique)) {
+        }
+      },
+      std::runtime_error);
+
+  // Bad magic.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.write("NOTGSBC1", 8);
+  }
+  EXPECT_THROW(GsbcReader::open(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GsbcStream, StreamingConsumersMatchInMemoryAnalysis) {
+  const graph::Graph g = test::random_graph(48, 0.4, 9);
+  core::CliqueCollector collector;
+  core::degeneracy_bk(g, collector.callback());
+  const auto& cliques = collector.cliques();
+  ASSERT_FALSE(cliques.empty());
+
+  const std::string path = temp_path("gsbc_consumers.gsbc");
+  {
+    GsbcWriter writer(path, g.order());
+    for (const auto& clique : cliques) writer.append(clique);
+    writer.close();
+  }
+
+  // Spectrum computed off the stream == spectrum of the collected set.
+  const auto expect_spectrum = analysis::clique_spectrum(cliques);
+  auto reader = GsbcReader::open(path);
+  const auto stream_spectrum = analysis::clique_spectrum(reader);
+  EXPECT_EQ(stream_spectrum.size_histogram, expect_spectrum.size_histogram);
+  EXPECT_EQ(stream_spectrum.total, expect_spectrum.total);
+  EXPECT_EQ(stream_spectrum.max_size, expect_spectrum.max_size);
+  EXPECT_EQ(stream_spectrum.min_size, expect_spectrum.min_size);
+  EXPECT_DOUBLE_EQ(stream_spectrum.mean_size, expect_spectrum.mean_size);
+
+  // Participation counts off the stream == in-memory counts.
+  auto reader2 = GsbcReader::open(path);
+  EXPECT_EQ(analysis::vertex_participation(g.order(), reader2),
+            analysis::vertex_participation(g.order(), cliques));
+
+  // Paraclique seeded from the stream == glomming the first largest clique.
+  Clique best;
+  for (const auto& clique : cliques) {
+    if (clique.size() > best.size()) best = clique;
+  }
+  auto reader3 = GsbcReader::open(path);
+  const auto from_stream =
+      analysis::extract_paraclique_from_stream(g, reader3);
+  const auto expected = analysis::grow_paraclique(g, best);
+  EXPECT_EQ(from_stream.members, expected.members);
+  EXPECT_EQ(from_stream.seed_size, expected.seed_size);
+  std::remove(path.c_str());
+}
+
+TEST(GsbcStream, ParallelBkSpillsAndRoundTrips) {
+  const graph::Graph g = test::random_graph(60, 0.35, 21);
+  const std::string path = temp_path("gsbc_parallel_spill.gsbc");
+  {
+    GsbcWriter writer(path, g.order());
+    core::ParallelBkOptions options;
+    options.threads = 4;
+    core::parallel_bk(
+        g,
+        [&](std::span<const graph::VertexId> clique) {
+          writer.append(clique);
+        },
+        options);
+    writer.close();
+  }
+  core::CliqueCollector collector;
+  core::degeneracy_bk(g, collector.callback());
+  auto expect = core::normalize(std::move(collector.cliques()));
+
+  GsbcReader::Options verify;
+  verify.verify_checksum = true;
+  auto reader = GsbcReader::open(path, verify);
+  EXPECT_EQ(core::normalize(read_all(reader)), expect);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gsb::storage

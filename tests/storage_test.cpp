@@ -301,8 +301,8 @@ TEST(MappedIdentity, CliquesAndParacliquesMatchInMemoryOn20Graphs) {
       ASSERT_EQ(para_memory[i].members, para_disk[i].members);
     }
 
-    const auto hubs_memory = analysis::top_hubs(g, {}, 5);
-    const auto hubs_disk = analysis::top_hubs(view, {}, 5);
+    const auto hubs_memory = analysis::top_hubs(g, std::vector<core::Clique>{}, 5);
+    const auto hubs_disk = analysis::top_hubs(view, std::vector<core::Clique>{}, 5);
     ASSERT_EQ(hubs_memory.size(), hubs_disk.size());
     for (std::size_t i = 0; i < hubs_memory.size(); ++i) {
       ASSERT_EQ(hubs_memory[i].vertex, hubs_disk[i].vertex);
