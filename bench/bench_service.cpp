@@ -1,0 +1,200 @@
+// Query-service benchmarks (google-benchmark): the serving-layer
+// trajectory.  Run via the `bench_service_json` target (or directly with
+// --benchmark_out) to emit BENCH_service.json, the artifact CI uploads
+// alongside the storage/correlation/clique trajectories:
+//
+//   * batch execution of a mixed query workload at 1/2/4/8 threads with
+//     the result cache off, cold (cleared per iteration), and warm
+//     (pre-warmed once) — queries/sec reads off the items counter;
+//   * `cliques-containing` through the `.gsbci` index vs a full `.gsbc`
+//     rescan — the random-access win the sidecar exists for.
+//
+// The fixture is the same planted-module shape the clique benches use: a
+// mapped .gsbg, its enumerated .gsbc stream, and the .gsbci sidecar, all
+// opened once through the GraphCatalog like a real serve session.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bron_kerbosch.h"
+#include "graph/generators.h"
+#include "service/batch_executor.h"
+#include "service/clique_index.h"
+#include "service/graph_catalog.h"
+#include "service/query_engine.h"
+#include "service/result_cache.h"
+#include "storage/clique_stream.h"
+#include "storage/gsbg_writer.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace gsb;
+
+struct Fixture {
+  service::GraphCatalog catalog;
+  std::shared_ptr<service::GraphEntry> indexed;
+  std::shared_ptr<service::GraphEntry> rescan;
+  std::vector<std::string> workload;
+  std::string gsbg_path;
+  std::string gsbc_path;
+  std::string gsbci_path;
+
+  Fixture() {
+    util::Rng rng(2005);
+    graph::ModuleGraphConfig config;
+    config.n = 1500;
+    config.num_modules = 170;
+    config.max_module_size = 16;
+    config.overlap = 0.3;
+    const graph::Graph graph = graph::planted_modules(config, rng).graph;
+
+    gsbg_path = (fs::temp_directory_path() / "bench_service.gsbg").string();
+    gsbc_path = (fs::temp_directory_path() / "bench_service.gsbc").string();
+    gsbci_path = service::default_index_path(gsbc_path);
+    storage::write_gsbg_file(graph, gsbg_path);
+    {
+      storage::GsbcWriter writer(gsbc_path, graph.order());
+      core::degeneracy_bk(graph,
+                          [&](std::span<const graph::VertexId> clique) {
+                            writer.append(clique);
+                          });
+      writer.close();
+    }
+    service::build_clique_index(gsbc_path, gsbci_path);
+
+    service::GraphSpec spec;
+    spec.graph_path = gsbg_path;
+    spec.cliques_path = gsbc_path;
+    indexed = catalog.open("indexed", spec);
+    spec.probe_index = false;
+    rescan = catalog.open("rescan", spec);
+
+    // A serve-shaped mix: point lookups dominate, a few heavy analyses.
+    const auto n = static_cast<graph::VertexId>(graph.order());
+    for (graph::VertexId v = 0; v < n; v += 7) {
+      workload.push_back("neighbors " + std::to_string(v));
+      workload.push_back("degree " + std::to_string((v + 3) % n));
+      workload.push_back("common-neighbors " + std::to_string(v) + " " +
+                         std::to_string((v + 1) % n));
+      workload.push_back("cliques-containing " + std::to_string(v));
+    }
+    workload.push_back("top-hubs 10");
+    workload.push_back("kcore-membership 4 17");
+  }
+  ~Fixture() {
+    std::error_code ec;
+    fs::remove(gsbg_path, ec);
+    fs::remove(gsbc_path, ec);
+    fs::remove(gsbci_path, ec);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void run_batch(benchmark::State& state, service::ResultCache* cache,
+               bool clear_each_iteration) {
+  auto& f = fixture();
+  service::BatchOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  options.cache = cache;
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    if (cache != nullptr && clear_each_iteration) {
+      state.PauseTiming();
+      cache->clear();
+      state.ResumeTiming();
+    }
+    const auto result = service::execute_batch(f.indexed, f.workload, options);
+    queries += result.responses.size();  // cache hits never reach an engine
+    benchmark::DoNotOptimize(result.responses.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(queries));
+}
+
+void BM_BatchNoCache(benchmark::State& state) {
+  run_batch(state, nullptr, false);
+}
+BENCHMARK(BM_BatchNoCache)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_BatchColdCache(benchmark::State& state) {
+  service::ResultCache cache(64u << 20);
+  run_batch(state, &cache, true);
+}
+BENCHMARK(BM_BatchColdCache)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_BatchWarmCache(benchmark::State& state) {
+  service::ResultCache cache(64u << 20);
+  // Pre-warm outside the timed region: every workload line cached.
+  service::BatchOptions warmup;
+  warmup.threads = 1;
+  warmup.cache = &cache;
+  service::execute_batch(fixture().indexed, fixture().workload, warmup);
+  run_batch(state, &cache, false);
+}
+BENCHMARK(BM_BatchWarmCache)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CliquesContainingIndexed(benchmark::State& state) {
+  auto& f = fixture();
+  service::QueryEngine engine(f.indexed);
+  const auto n = static_cast<graph::VertexId>(f.indexed->order());
+  graph::VertexId v = 0;
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    const auto response =
+        engine.execute_line("cliques-containing " + std::to_string(v));
+    benchmark::DoNotOptimize(response.data());
+    v = (v + 13) % n;
+    ++queries;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(queries));
+}
+BENCHMARK(BM_CliquesContainingIndexed)->Unit(benchmark::kMicrosecond);
+
+void BM_CliquesContainingRescan(benchmark::State& state) {
+  auto& f = fixture();
+  service::QueryEngine engine(f.rescan);
+  const auto n = static_cast<graph::VertexId>(f.rescan->order());
+  graph::VertexId v = 0;
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    const auto response =
+        engine.execute_line("cliques-containing " + std::to_string(v));
+    benchmark::DoNotOptimize(response.data());
+    v = (v + 13) % n;
+    ++queries;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(queries));
+}
+BENCHMARK(BM_CliquesContainingRescan)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

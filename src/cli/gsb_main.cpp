@@ -19,13 +19,21 @@
 //   $ gsb generate --kind modules --n 2000 --out graph.clq
 //   $ gsb convert graph.clq graph.gsbg --degree-sort --wah
 //   $ gsb info graph.gsbg --verify
+//   $ gsb index big.gsbc
+//   $ gsb query --graph-file big.gsbg --cliques big.gsbc 'cliques-containing 17'
+//   $ gsb query --graph-file big.gsbg --batch queries.txt --threads 8 --cache
+//   $ gsb serve --graph-file big.gsbg --cliques big.gsbc --socket /tmp/gsb.sock
 //   $ cat graph.clq | gsb cliques - --min 5
 //   $ gsb --help
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <optional>
 #include <random>
 #include <stdexcept>
@@ -52,6 +60,11 @@
 #include "graph/graph_view.h"
 #include "graph/io.h"
 #include "graph/transforms.h"
+#include "service/batch_executor.h"
+#include "service/clique_index.h"
+#include "service/graph_catalog.h"
+#include "service/result_cache.h"
+#include "service/server.h"
 #include "storage/clique_stream.h"
 #include "storage/gsbg_writer.h"
 #include "storage/mapped_graph.h"
@@ -80,6 +93,9 @@ commands:
   generate   synthesize a graph file (G(n,p) or planted modules)
   convert    re-encode a graph (including to/from the .gsbg container)
   info       describe a graph file (.gsbg: header, sections, integrity)
+  index      build the .gsbci random-access sidecar for a .gsbc stream
+  query      answer graph/clique queries against resident artifacts
+  serve      long-lived query loop (stdin or a Unix-domain socket)
   help       this text
 
 graph inputs: DIMACS (.clq/.dimacs), edge list, legacy binary (.bin), or
@@ -120,9 +136,17 @@ generate flags: --kind gnp|modules --n N [--p P | --edges E] --out FILE
 convert flags: <in> <out> [--in-format F] [--format F]
                [--degree-sort] [--wah] [--no-bitmap]    (.gsbg outputs)
 info flags:    <file> [--format F] [--verify]   (also reads .gsbc streams)
+index flags:   <file.gsbc> [--out FILE.gsbci]
+query flags:   --graph-file FILE ['QUERY' | --batch FILE|-] [--cliques F.gsbc]
+               [--index F.gsbci] [--no-index] [--format F] [--threads P]
+               [--cache] [--cache-bytes N] [--stats]
+serve flags:   --graph-file FILE [--cliques F.gsbc] [--index F.gsbci]
+               [--no-index] [--format F] [--socket PATH] [--threads P]
+               [--cache] [--cache-bytes N]
 
 Every flag can also be set through the environment as GSB_<NAME>.
-Full reference with worked examples: docs/CLI.md.
+Full reference with worked examples: docs/CLI.md; the query grammar and
+wire format live in docs/SERVICE.md.
 )");
   return out == stdout ? 0 : 2;
 }
@@ -751,11 +775,17 @@ int cmd_info(const util::Cli& cli) {
   warn_unqueried(cli);
 
   // Clique streams are inspectable too: header totals plus the optional
-  // integrity pass, without decoding the records.
+  // integrity pass.  Every record is decoded before anything is printed —
+  // open-time bounds catch gross truncation, but a cut inside a record can
+  // stay within them, and reporting totals the file does not contain would
+  // be lying (the structural scan fails loudly instead).
   if (path.size() > 5 && path.ends_with(".gsbc")) {
     storage::GsbcReader::Options options;
     options.verify_checksum = verify;
-    const auto reader = storage::GsbcReader::open(path, options);
+    auto reader = storage::GsbcReader::open(path, options);
+    std::vector<graph::VertexId> members;
+    while (reader.next(members)) {
+    }
     std::printf(
         "%s: gsbc v%u clique stream, universe %zu vertices\n"
         "cliques %llu, members %llu, largest %llu, mean size %.2f\n",
@@ -838,6 +868,199 @@ int cmd_info(const util::Cli& cli) {
   return 0;
 }
 
+// --- gsb index --------------------------------------------------------------
+
+int cmd_index(const util::Cli& cli) {
+  if (cli.positional().size() < 2) {
+    std::fprintf(stderr, "usage: gsb index <file.gsbc> [--out FILE.gsbci]\n");
+    return 2;
+  }
+  const std::string gsbc_path = cli.positional()[1];
+  const std::string out_path =
+      cli.get("out", service::default_index_path(gsbc_path));
+  warn_unqueried(cli);
+  util::Timer timer;
+  const auto stats = service::build_clique_index(gsbc_path, out_path);
+  std::printf(
+      "wrote %s: %llu cliques, %llu postings, %s (%s)\n", out_path.c_str(),
+      static_cast<unsigned long long>(stats.clique_count),
+      static_cast<unsigned long long>(stats.posting_total),
+      util::format_bytes(stats.file_bytes).c_str(),
+      util::format_seconds(timer.seconds()).c_str());
+  return 0;
+}
+
+// --- gsb query / gsb serve --------------------------------------------------
+
+/// Opens the service artifacts a query/serve invocation names: the graph
+/// (mmap'd for .gsbg), the optional clique stream, and — unless --no-index
+/// — the `.gsbci` sidecar (explicit via --index, else probed next to the
+/// stream).
+std::shared_ptr<service::GraphEntry> open_service_entry(
+    const util::Cli& cli, service::GraphCatalog& catalog) {
+  service::GraphSpec spec;
+  spec.graph_path = cli.get("graph-file", "");
+  spec.format = cli.get("format", "");
+  spec.cliques_path = cli.get("cliques", "");
+  spec.index_path = cli.get("index", "");
+  spec.probe_index = !cli.get_bool("no-index", false);
+  auto entry = catalog.open("default", spec);
+  std::fprintf(stderr, "graph: %zu vertices, %zu edges%s%s\n", entry->order(),
+               entry->view().num_edges(),
+               entry->has_cliques() ? ", clique stream attached" : "",
+               entry->index() != nullptr ? " (indexed)" : "");
+  return entry;
+}
+
+int cmd_query(const util::Cli& cli) {
+  const std::string batch_path = cli.get("batch", "");
+  if (cli.get("graph-file", "").empty() ||
+      (batch_path.empty() && cli.positional().size() < 2)) {
+    std::fprintf(
+        stderr,
+        "usage: gsb query --graph-file FILE ['QUERY' ... | --batch FILE|-]\n"
+        "           [--cliques F.gsbc] [--index F.gsbci] [--no-index]\n"
+        "           [--format F] [--threads P] [--cache] [--cache-bytes N]\n"
+        "           [--stats]     (grammar: docs/SERVICE.md)\n");
+    return 2;
+  }
+  const auto threads = size_flag(cli, "threads", 0);
+  const bool use_cache = cli.get_bool("cache", false);
+  const auto cache_bytes = size_flag(cli, "cache-bytes", 64 << 20);
+  const bool print_stats = cli.get_bool("stats", false);
+
+  std::vector<std::string> lines;
+  if (batch_path.empty()) {
+    lines.assign(cli.positional().begin() + 1, cli.positional().end());
+  } else if (batch_path == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) lines.push_back(line);
+  } else {
+    std::ifstream in(batch_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open batch file '%s'\n",
+                   batch_path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+
+  service::GraphCatalog catalog;
+  auto entry = open_service_entry(cli, catalog);
+  warn_unqueried(cli);
+
+  std::optional<service::ResultCache> cache;
+  if (use_cache) cache.emplace(cache_bytes);
+  service::BatchOptions options;
+  options.threads = threads;
+  options.cache = cache ? &*cache : nullptr;
+  util::Timer timer;
+  const auto result = service::execute_batch(entry, lines, options);
+  const double seconds = timer.seconds();
+  for (const std::string& response : result.responses) {
+    std::printf("%s\n", response.c_str());
+  }
+  if (print_stats) {
+    std::fprintf(
+        stderr,
+        "query: %llu queries (%llu errors) in %s, %zu threads; "
+        "index %llu, rescans %llu, records %llu",
+        static_cast<unsigned long long>(result.engine.executed),
+        static_cast<unsigned long long>(result.engine.errors),
+        util::format_seconds(seconds).c_str(), result.threads_used,
+        static_cast<unsigned long long>(result.engine.index_queries),
+        static_cast<unsigned long long>(result.engine.stream_scans),
+        static_cast<unsigned long long>(result.engine.records_decoded));
+    if (cache) {
+      const auto cache_stats = cache->stats();
+      std::fprintf(
+          stderr, "; cache %llu/%llu hits, %llu evictions, %s",
+          static_cast<unsigned long long>(result.cache_hits),
+          static_cast<unsigned long long>(result.cache_hits +
+                                          result.cache_misses),
+          static_cast<unsigned long long>(cache_stats.evictions),
+          util::format_bytes(cache_stats.bytes).c_str());
+    }
+    std::fprintf(stderr, "\n");
+  }
+  // One-shot ergonomics: all-error batches signal failure to scripts.
+  const bool all_errors =
+      !result.responses.empty() &&
+      result.engine.errors == result.engine.executed;
+  return all_errors ? 1 : 0;
+}
+
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) {
+  g_serve_stop.store(true, std::memory_order_relaxed);
+}
+
+int cmd_serve(const util::Cli& cli) {
+  if (cli.get("graph-file", "").empty()) {
+    std::fprintf(
+        stderr,
+        "usage: gsb serve --graph-file FILE [--cliques F.gsbc]\n"
+        "           [--index F.gsbci] [--no-index] [--format F]\n"
+        "           [--socket PATH] [--threads P] [--cache] "
+        "[--cache-bytes N]\n");
+    return 2;
+  }
+  const auto threads = size_flag(cli, "threads", 0);
+  const bool use_cache = cli.get_bool("cache", false);
+  const auto cache_bytes = size_flag(cli, "cache-bytes", 64 << 20);
+  const std::string socket_path = cli.get("socket", "");
+
+  service::GraphCatalog catalog;
+  auto entry = open_service_entry(cli, catalog);
+  warn_unqueried(cli);
+
+  std::optional<service::ResultCache> cache;
+  if (use_cache) cache.emplace(cache_bytes);
+  service::ServeOptions options;
+  options.threads = threads;
+  options.cache = cache ? &*cache : nullptr;
+  options.stop = &g_serve_stop;
+#if defined(__unix__) || defined(__APPLE__)
+  // sigaction without SA_RESTART, so Ctrl-C interrupts the blocking
+  // stdin read instead of waiting for the next input line.
+  struct sigaction action{};
+  action.sa_handler = serve_signal_handler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+#else
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+#endif
+
+  service::ServeStats stats;
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "serving on stdin (shutdown | ping | stats; EOF "
+                         "stops)\n");
+    stats = service::serve_stream(entry, std::cin, std::cout, options);
+  } else {
+    std::fprintf(stderr, "serving on unix socket %s\n", socket_path.c_str());
+    stats = service::serve_unix_socket(entry, socket_path, options);
+  }
+  std::fprintf(
+      stderr,
+      "served %llu requests (%llu connections); engine: %llu queries, "
+      "%llu errors, index %llu, rescans %llu; cache %llu/%llu hits%s\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.engine.executed),
+      static_cast<unsigned long long>(stats.engine.errors),
+      static_cast<unsigned long long>(stats.engine.index_queries),
+      static_cast<unsigned long long>(stats.engine.stream_scans),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_hits + stats.cache_misses),
+      stats.shutdown_requested ? " (client shutdown)" : "");
+  print_memory_summary("");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -852,6 +1075,9 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(cli);
     if (command == "convert") return cmd_convert(cli);
     if (command == "info") return cmd_info(cli);
+    if (command == "index") return cmd_index(cli);
+    if (command == "query") return cmd_query(cli);
+    if (command == "serve") return cmd_serve(cli);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -1,0 +1,125 @@
+#include "service/batch_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <stdexcept>
+
+namespace gsb::service {
+
+std::string execute_cached_line(QueryEngine& engine, ResultCache* cache,
+                                const std::string& line,
+                                std::uint64_t& cache_hits,
+                                std::uint64_t& cache_misses) {
+  Query query;
+  try {
+    query = parse_query(line);
+  } catch (const std::exception&) {
+    return engine.execute_line(line);  // counted + formatted by the engine
+  }
+  if (cache == nullptr) return engine.execute(query);
+  const std::uint64_t epoch = engine.entry().epoch();
+  const std::string canonical = canonical_query(query);
+  if (auto cached = cache->lookup(epoch, canonical)) {
+    ++cache_hits;
+    return *std::move(cached);
+  }
+  ++cache_misses;
+  std::string response = engine.execute(query);
+  if (!response.starts_with("error:")) {
+    cache->insert(epoch, canonical, response);
+  }
+  return response;
+}
+
+namespace {
+
+/// This call's activity out of a borrowed engine's cumulative counters.
+QueryEngineStats stats_since(const QueryEngineStats& after,
+                             const QueryEngineStats& before) {
+  QueryEngineStats delta;
+  delta.executed = after.executed - before.executed;
+  delta.errors = after.errors - before.errors;
+  delta.index_queries = after.index_queries - before.index_queries;
+  delta.stream_scans = after.stream_scans - before.stream_scans;
+  delta.records_decoded = after.records_decoded - before.records_decoded;
+  return delta;
+}
+
+}  // namespace
+
+BatchResult execute_batch(std::shared_ptr<const GraphEntry> entry,
+                          const std::vector<std::string>& lines,
+                          const BatchOptions& options) {
+  if (entry == nullptr) {
+    throw std::invalid_argument("execute_batch: null graph entry");
+  }
+  BatchResult result;
+  result.responses.resize(lines.size());
+
+  std::size_t threads = options.threads;
+  if (threads == 0) threads = par::ThreadPool::default_threads();
+  threads = std::min(threads, std::max<std::size_t>(lines.size(), 1));
+  if (options.engines != nullptr) {
+    threads = std::min(threads, std::max<std::size_t>(
+                                    options.engines->size(), 1));
+  }
+  result.threads_used = threads;
+  auto borrowed = [&](std::size_t thread_id) -> QueryEngine* {
+    return options.engines != nullptr && thread_id < options.engines->size()
+               ? &(*options.engines)[thread_id]
+               : nullptr;
+  };
+
+  if (threads == 1) {
+    std::optional<QueryEngine> local;
+    QueryEngine* engine = borrowed(0);
+    if (engine == nullptr) engine = &local.emplace(entry);
+    const QueryEngineStats before = engine->stats();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      result.responses[i] =
+          execute_cached_line(*engine, options.cache, lines[i],
+                              result.cache_hits, result.cache_misses);
+    }
+    result.engine = stats_since(engine->stats(), before);
+    return result;
+  }
+
+  // Dynamic claiming: response slots make output order a function of the
+  // input alone, so work distribution is free to be racy.
+  std::atomic<std::size_t> next{0};
+  std::vector<QueryEngineStats> engine_stats(threads);
+  std::vector<std::uint64_t> hit_counts(threads, 0);
+  std::vector<std::uint64_t> miss_counts(threads, 0);
+  auto worker = [&](std::size_t thread_id) {
+    std::optional<QueryEngine> local;
+    QueryEngine* engine = borrowed(thread_id);
+    if (engine == nullptr) engine = &local.emplace(entry);
+    const QueryEngineStats before = engine->stats();
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= lines.size()) break;
+      result.responses[i] =
+          execute_cached_line(*engine, options.cache, lines[i],
+                              hit_counts[thread_id], miss_counts[thread_id]);
+    }
+    engine_stats[thread_id] = stats_since(engine->stats(), before);
+  };
+  std::optional<par::ThreadPool> owned_pool;
+  par::ThreadPool* pool = options.pool;
+  if (pool == nullptr || pool->size() < threads) {
+    owned_pool.emplace(threads);
+    pool = &*owned_pool;
+  }
+  pool->run_round([&](std::size_t thread_id) {
+    if (thread_id < threads) worker(thread_id);
+  });
+  for (std::size_t t = 0; t < threads; ++t) {
+    result.engine += engine_stats[t];
+    result.cache_hits += hit_counts[t];
+    result.cache_misses += miss_counts[t];
+  }
+  return result;
+}
+
+}  // namespace gsb::service

@@ -1,0 +1,323 @@
+#include "service/clique_index.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GSB_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "storage/clique_stream.h"
+
+namespace gsb::service {
+namespace {
+
+using storage::GsbciHeader;
+using storage::kGsbciHeaderBytes;
+using storage::kGsbciMagic;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("gsbci: " + what);
+}
+
+void serialize_header(char (&buffer)[kGsbciHeaderBytes],
+                      const GsbciHeader& header) {
+  std::memset(buffer, 0, sizeof(buffer));
+  std::memcpy(buffer, kGsbciMagic, sizeof(kGsbciMagic));
+  std::memcpy(buffer + 8, &header.version, 4);
+  std::memcpy(buffer + 12, &header.flags, 4);
+  std::memcpy(buffer + 16, &header.n, 8);
+  std::memcpy(buffer + 24, &header.clique_count, 8);
+  std::memcpy(buffer + 32, &header.posting_total, 8);
+  std::memcpy(buffer + 40, &header.source_checksum, 8);
+  std::memcpy(buffer + 48, &header.checksum, 8);
+}
+
+/// Writes one u64 array as payload bytes, folding it into \p sum.
+void write_array(std::ofstream& out, storage::Fnv1a& sum,
+                 const std::vector<std::uint64_t>& values) {
+  const auto* bytes = reinterpret_cast<const char*>(values.data());
+  const std::size_t count = values.size() * sizeof(std::uint64_t);
+  sum.update(bytes, count);
+  out.write(bytes, static_cast<std::streamsize>(count));
+}
+
+}  // namespace
+
+std::string default_index_path(const std::string& gsbc_path) {
+  if (gsbc_path.ends_with(".gsbc")) return gsbc_path + "i";
+  return gsbc_path + ".gsbci";
+}
+
+CliqueIndexBuildStats build_clique_index(const std::string& gsbc_path,
+                                         const std::string& out_path) {
+  // Pass 1: record offsets + per-vertex participation counts.
+  auto reader = storage::GsbcReader::open(gsbc_path);
+  GsbciHeader header;
+  header.n = reader.header().n;
+  header.clique_count = reader.header().clique_count;
+  header.posting_total = reader.header().member_total;
+  header.source_checksum = reader.header().checksum;
+
+  std::vector<std::uint64_t> clique_offsets;
+  clique_offsets.reserve(header.clique_count);
+  std::vector<std::uint64_t> posting_offsets(header.n + 1, 0);
+  std::vector<graph::VertexId> clique;
+  while (true) {
+    const std::uint64_t offset = reader.next_record_offset();
+    if (!reader.next(clique)) break;
+    clique_offsets.push_back(offset);
+    for (const graph::VertexId v : clique) ++posting_offsets[v + 1];
+  }
+  for (std::size_t v = 0; v < header.n; ++v) {
+    posting_offsets[v + 1] += posting_offsets[v];
+  }
+
+  // Pass 2: fill the inverted postings in clique-id order, so every
+  // per-vertex list comes out ascending (== stream order).
+  std::vector<std::uint64_t> postings(header.posting_total);
+  std::vector<std::uint64_t> cursor(posting_offsets.begin(),
+                                    posting_offsets.end() - 1);
+  auto refill = storage::GsbcReader::open(gsbc_path);
+  for (std::uint64_t id = 0; refill.next(clique); ++id) {
+    for (const graph::VertexId v : clique) postings[cursor[v]++] = id;
+  }
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot open '" + out_path + "' for writing");
+  char raw[kGsbciHeaderBytes];
+  serialize_header(raw, header);  // placeholder; patched below
+  out.write(raw, sizeof(raw));
+  storage::Fnv1a sum;
+  write_array(out, sum, clique_offsets);
+  write_array(out, sum, posting_offsets);
+  write_array(out, sum, postings);
+  header.checksum = sum.digest();
+  serialize_header(raw, header);
+  out.seekp(0);
+  out.write(raw, sizeof(raw));
+  out.flush();
+  if (!out) fail("write failed for '" + out_path + "'");
+
+  CliqueIndexBuildStats stats;
+  stats.clique_count = header.clique_count;
+  stats.posting_total = header.posting_total;
+  stats.file_bytes =
+      kGsbciHeaderBytes +
+      8 * (clique_offsets.size() + posting_offsets.size() + postings.size());
+  return stats;
+}
+
+// --- reader -----------------------------------------------------------------
+
+CliqueIndex::~CliqueIndex() { release(); }
+
+CliqueIndex::CliqueIndex(CliqueIndex&& other) noexcept {
+  *this = std::move(other);
+}
+
+CliqueIndex& CliqueIndex::operator=(CliqueIndex&& other) noexcept {
+  if (this != &other) {
+    release();
+    header_ = other.header_;
+    base_ = std::exchange(other.base_, nullptr);
+    map_bytes_ = std::exchange(other.map_bytes_, 0);
+    heap_backed_ = std::exchange(other.heap_backed_, false);
+    clique_offsets_ = std::exchange(other.clique_offsets_, {});
+    posting_offsets_ = std::exchange(other.posting_offsets_, {});
+    postings_ = std::exchange(other.postings_, {});
+  }
+  return *this;
+}
+
+void CliqueIndex::release() noexcept {
+  if (base_ == nullptr) return;
+#if GSB_HAVE_MMAP
+  if (!heap_backed_) {
+    ::munmap(const_cast<char*>(base_), map_bytes_);
+    base_ = nullptr;
+    return;
+  }
+#endif
+  delete[] base_;
+  base_ = nullptr;
+}
+
+CliqueIndex CliqueIndex::open(const std::string& path) {
+  CliqueIndex index;
+
+#if GSB_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open '" + path + "' for reading");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    fail("cannot stat '" + path + "'");
+  }
+  index.map_bytes_ = static_cast<std::size_t>(st.st_size);
+  if (index.map_bytes_ == 0) {
+    ::close(fd);
+    fail("file is empty");
+  }
+  void* map =
+      ::mmap(nullptr, index.map_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) fail("mmap failed for '" + path + "'");
+  index.base_ = static_cast<const char*>(map);
+#else
+  // Portability fallback: read the whole file into heap memory.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) fail("cannot open '" + path + "' for reading");
+  const auto size = in.tellg();
+  if (size <= 0) fail("file is empty");
+  index.map_bytes_ = static_cast<std::size_t>(size);
+  char* buffer = new char[index.map_bytes_];
+  in.seekg(0);
+  in.read(buffer, static_cast<std::streamsize>(index.map_bytes_));
+  if (!in) {
+    delete[] buffer;
+    fail("short read from '" + path + "'");
+  }
+  index.base_ = buffer;
+  index.heap_backed_ = true;
+#endif
+
+  if (index.map_bytes_ < kGsbciHeaderBytes) fail("file shorter than header");
+  if (std::memcmp(index.base_, kGsbciMagic, sizeof(kGsbciMagic)) != 0) {
+    fail("bad magic (not a .gsbci file)");
+  }
+  GsbciHeader& header = index.header_;
+  std::memcpy(&header.version, index.base_ + 8, 4);
+  std::memcpy(&header.flags, index.base_ + 12, 4);
+  std::memcpy(&header.n, index.base_ + 16, 8);
+  std::memcpy(&header.clique_count, index.base_ + 24, 8);
+  std::memcpy(&header.posting_total, index.base_ + 32, 8);
+  std::memcpy(&header.source_checksum, index.base_ + 40, 8);
+  std::memcpy(&header.checksum, index.base_ + 48, 8);
+  if (header.version != storage::kGsbciVersion) {
+    fail("unsupported version " + std::to_string(header.version));
+  }
+  // Ceiling the counts before the size arithmetic: crafted values near
+  // 2^64/8 would wrap `expected` back onto the real file size and turn
+  // the span construction below into out-of-bounds reads.
+  constexpr std::uint64_t kCountCeiling = 1ull << 56;
+  if (header.clique_count >= kCountCeiling || header.n >= kCountCeiling ||
+      header.posting_total >= kCountCeiling) {
+    fail("header counts out of range");
+  }
+  const std::uint64_t expected =
+      kGsbciHeaderBytes +
+      8 * (header.clique_count + header.n + 1 + header.posting_total);
+  if (index.map_bytes_ != expected) {
+    fail("file size " + std::to_string(index.map_bytes_) +
+         " does not match header counts (expected " +
+         std::to_string(expected) + ")");
+  }
+
+  // Integrity pass, always on: the structural checks below catch shape
+  // corruption, but only the hash catches an in-range flipped posting or
+  // offset value (which would silently misanswer queries).  Same O(file)
+  // order as the structural scans, paid once per open.
+  storage::Fnv1a sum;
+  sum.update(index.base_ + kGsbciHeaderBytes,
+             index.map_bytes_ - kGsbciHeaderBytes);
+  if (sum.digest() != header.checksum) fail("payload checksum mismatch");
+
+  const auto* words = reinterpret_cast<const std::uint64_t*>(
+      index.base_ + kGsbciHeaderBytes);
+  index.clique_offsets_ = {words, header.clique_count};
+  index.posting_offsets_ = {words + header.clique_count, header.n + 1};
+  index.postings_ = {words + header.clique_count + header.n + 1,
+                     header.posting_total};
+
+  // Structural validation (O(clique_count + n + postings), like the .gsbg
+  // open-time CSR scan): offsets monotone, postings in range and ascending
+  // per vertex.
+  for (std::uint64_t i = 0; i < header.clique_count; ++i) {
+    const std::uint64_t lo =
+        i == 0 ? storage::kGsbcHeaderBytes : index.clique_offsets_[i - 1] + 1;
+    if (index.clique_offsets_[i] < lo) fail("clique offsets not ascending");
+  }
+  if (index.posting_offsets_[0] != 0 ||
+      index.posting_offsets_[header.n] != header.posting_total) {
+    fail("posting offsets do not span the postings array");
+  }
+  for (std::uint64_t v = 0; v < header.n; ++v) {
+    if (index.posting_offsets_[v] > index.posting_offsets_[v + 1]) {
+      fail("posting offsets not monotone");
+    }
+    const auto row = index.postings(static_cast<graph::VertexId>(v));
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] >= header.clique_count ||
+          (i > 0 && row[i] <= row[i - 1])) {
+        fail("posting list malformed for vertex " + std::to_string(v));
+      }
+    }
+  }
+  return index;
+}
+
+// --- random-access record reader --------------------------------------------
+
+CliqueRandomReader::CliqueRandomReader(const std::string& gsbc_path,
+                                       const CliqueIndex& index)
+    : index_(&index), universe_(index.order()) {
+  // Reuse the stream reader's full open-time validation, then keep only the
+  // header and our own seekable handle.
+  const auto stream = storage::GsbcReader::open(gsbc_path);
+  if (stream.header().checksum != index.source_checksum()) {
+    fail("index does not match this stream (source checksum differs)");
+  }
+  if (stream.header().clique_count != index.clique_count()) {
+    fail("index clique count does not match the stream");
+  }
+  in_.open(gsbc_path, std::ios::binary);
+  if (!in_) fail("cannot open '" + gsbc_path + "'");
+  in_.seekg(0, std::ios::end);
+  file_bytes_ = static_cast<std::uint64_t>(in_.tellg());
+}
+
+void CliqueRandomReader::read(std::uint64_t clique_id,
+                              std::vector<graph::VertexId>& out) {
+  const std::uint64_t begin = index_->clique_offset(clique_id);
+  const std::uint64_t end = clique_id + 1 < index_->clique_count()
+                                ? index_->clique_offset(clique_id + 1)
+                                : file_bytes_;
+  if (begin >= end || end > file_bytes_) {
+    fail("record " + std::to_string(clique_id) + " offset out of range");
+  }
+  buffer_.resize(end - begin);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(begin));
+  in_.read(reinterpret_cast<char*>(buffer_.data()),
+           static_cast<std::streamsize>(buffer_.size()));
+  if (static_cast<std::uint64_t>(in_.gcount()) != buffer_.size()) {
+    fail("short read for record " + std::to_string(clique_id));
+  }
+
+  std::size_t pos = 0;
+  const std::uint64_t size = storage::decode_leb128(buffer_, pos);
+  if (size == 0 || size > universe_) fail("record size out of range");
+  out.clear();
+  out.reserve(size);
+  std::uint64_t member = storage::decode_leb128(buffer_, pos);
+  for (std::uint64_t i = 0;; ++i) {
+    if (member >= universe_) fail("member id out of range");
+    out.push_back(static_cast<graph::VertexId>(member));
+    if (i + 1 == size) break;
+    const std::uint64_t delta = storage::decode_leb128(buffer_, pos);
+    if (delta == 0) fail("non-ascending member delta");
+    member += delta;
+  }
+  if (pos != buffer_.size()) {
+    fail("record " + std::to_string(clique_id) + " has trailing bytes");
+  }
+  ++records_decoded_;
+}
+
+}  // namespace gsb::service

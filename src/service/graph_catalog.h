@@ -1,0 +1,136 @@
+#ifndef GSB_SERVICE_GRAPH_CATALOG_H
+#define GSB_SERVICE_GRAPH_CATALOG_H
+
+/// \file graph_catalog.h
+/// Named, ref-counted access to resident graph artifacts.
+///
+/// The batch pipeline re-opens its inputs on every invocation; the query
+/// service keeps them resident instead.  A GraphCatalog maps names to
+/// GraphEntry instances — a memory-mapped `.gsbg` (or a loaded text graph),
+/// its companion `.gsbc` clique stream, and the `.gsbci` sidecar index when
+/// one exists.  Entries are handed out as shared_ptr: the catalog holds one
+/// reference, every live query engine holds another, so `close()` (or a
+/// replacing `open()`) drops the catalog's reference immediately while
+/// in-flight queries finish against the old mapping safely.
+///
+/// Every successful open stamps the entry with a process-unique, monotone
+/// **epoch**.  The result cache keys on (epoch, canonical query), so
+/// replacing a graph under the same name can never serve stale cached
+/// answers — the old epoch's entries simply age out of the LRU.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_view.h"
+#include "service/clique_index.h"
+#include "storage/mapped_graph.h"
+
+namespace gsb::service {
+
+/// What to open under a catalog name.
+struct GraphSpec {
+  std::string graph_path;    ///< .gsbg (mmap'd) or any text/binary format
+  std::string format;        ///< forwarded to the graph loader; "" = sniff
+  std::string cliques_path;  ///< optional companion .gsbc
+  std::string index_path;    ///< optional .gsbci; "" probes the sidecar
+                             ///< default_index_path(cliques_path)
+  bool probe_index = true;   ///< false: never auto-load the sidecar
+                             ///< (forces stream rescans)
+};
+
+/// One resident graph with its clique artifacts.  Read-only after open;
+/// the lazily computed participation vector is internally synchronized.
+class GraphEntry {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const graph::GraphView& view() const noexcept { return view_; }
+  [[nodiscard]] std::size_t order() const noexcept { return view_.order(); }
+
+  [[nodiscard]] bool has_cliques() const noexcept {
+    return !cliques_path_.empty();
+  }
+  [[nodiscard]] const std::string& cliques_path() const noexcept {
+    return cliques_path_;
+  }
+  /// The `.gsbci` index, or nullptr when the entry runs on stream rescans.
+  [[nodiscard]] const CliqueIndex* index() const noexcept {
+    return index_.is_open() ? &index_ : nullptr;
+  }
+
+  /// True when the backing container is degree-sorted (stored ids differ
+  /// from the original labeling queries and streams use).
+  [[nodiscard]] bool has_permutation() const noexcept {
+    return !inverse_permutation_.empty();
+  }
+  /// Original label -> stored id (identity without a permutation).
+  [[nodiscard]] graph::VertexId to_stored(graph::VertexId original)
+      const noexcept {
+    return has_permutation() ? inverse_permutation_[original] : original;
+  }
+  /// Stored id -> original label (identity without a permutation).
+  [[nodiscard]] graph::VertexId to_original(graph::VertexId stored)
+      const noexcept {
+    return has_permutation()
+               ? static_cast<graph::VertexId>(mapped_.permutation()[stored])
+               : stored;
+  }
+
+  /// Per-vertex clique participation in *stored* id space, computed once on
+  /// first use: from the index posting lengths when present, else one
+  /// forward scan of the stream; all zeros without a cliques source.
+  const std::vector<std::uint32_t>& participation() const;
+
+ private:
+  friend class GraphCatalog;
+  GraphEntry() = default;
+
+  std::string name_;
+  std::uint64_t epoch_ = 0;
+  storage::MappedGraph mapped_;
+  graph::Graph owned_;
+  graph::GraphView view_;
+  std::vector<graph::VertexId> inverse_permutation_;
+  std::string cliques_path_;
+  CliqueIndex index_;
+
+  mutable std::mutex participation_mutex_;
+  mutable std::vector<std::uint32_t> participation_;
+  mutable bool participation_ready_ = false;
+};
+
+/// Thread-safe name -> GraphEntry map.
+class GraphCatalog {
+ public:
+  /// Opens \p spec under \p name (replacing any previous entry under that
+  /// name with a fresh epoch) and returns the shared entry.  Throws
+  /// std::runtime_error on any open/validation failure, leaving a previous
+  /// entry under the name untouched.
+  std::shared_ptr<GraphEntry> open(const std::string& name,
+                                   const GraphSpec& spec);
+
+  /// The entry under \p name, or nullptr.
+  [[nodiscard]] std::shared_ptr<GraphEntry> get(const std::string& name) const;
+
+  /// Drops the catalog's reference under \p name; returns false when the
+  /// name is unknown.  Outstanding handles keep the entry alive.
+  bool close(const std::string& name);
+
+  /// Open names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Live handles to \p name's entry outside the catalog (0 when unknown).
+  [[nodiscard]] std::size_t external_refs(const std::string& name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::shared_ptr<GraphEntry>>> entries_;
+};
+
+}  // namespace gsb::service
+
+#endif  // GSB_SERVICE_GRAPH_CATALOG_H

@@ -1,0 +1,66 @@
+#include "service/result_cache.h"
+
+namespace gsb::service {
+
+ResultCache::ResultCache(std::size_t byte_budget, util::MemoryTracker* tracker)
+    : budget_(byte_budget),
+      tracker_(tracker != nullptr ? *tracker
+                                  : util::global_memory_tracker()) {}
+
+ResultCache::~ResultCache() { clear(); }
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t epoch,
+                                               const std::string& canonical) {
+  const std::string key = make_key(epoch, canonical);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->value;
+}
+
+void ResultCache::drop(EntryList::iterator it) {
+  const std::size_t bytes = entry_bytes(*it);
+  tracker_.release(bytes, util::MemTag::kResultCache);
+  stats_.bytes -= bytes;
+  map_.erase(it->key);
+  lru_.erase(it);
+}
+
+void ResultCache::insert(std::uint64_t epoch, const std::string& canonical,
+                         const std::string& result) {
+  const std::string key = make_key(epoch, canonical);
+  const std::size_t incoming =
+      key.size() + result.size() + kEntryOverhead;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (incoming > budget_) return;  // would evict everything and still not fit
+  const auto it = map_.find(key);
+  if (it != map_.end()) drop(it->second);  // refresh value and recency
+  while (stats_.bytes + incoming > budget_ && !lru_.empty()) {
+    drop(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, result});
+  map_.emplace(lru_.front().key, lru_.begin());
+  tracker_.allocate(incoming, util::MemTag::kResultCache);
+  stats_.bytes += incoming;
+  ++stats_.insertions;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!lru_.empty()) drop(lru_.begin());
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace gsb::service

@@ -1,0 +1,98 @@
+#ifndef GSB_SERVICE_RESULT_CACHE_H
+#define GSB_SERVICE_RESULT_CACHE_H
+
+/// \file result_cache.h
+/// Byte-budgeted LRU cache of serialized query responses.
+///
+/// Results are cached as the exact bytes the engine serialized, keyed by
+/// (graph epoch, canonical query): a hit replays those bytes verbatim, so
+/// cached and uncached answers are bit-identical by construction — the
+/// property service_test pins.  Keying on the epoch (stamped fresh on every
+/// catalog open) means a reloaded graph can never serve stale answers;
+/// entries of dead epochs simply age out of the LRU.
+///
+/// The budget is accounted in bytes (keys + values + bookkeeping estimate)
+/// against `util::MemoryTracker` under MemTag::kResultCache, so the serve
+/// loop's memory summary shows the cache next to the other structures.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/memory_tracker.h"
+
+namespace gsb::service {
+
+class ResultCache {
+ public:
+  /// Per-entry bookkeeping estimate added to key/value bytes (list node,
+  /// map slot, string headers).
+  static constexpr std::size_t kEntryOverhead = 96;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;    ///< live accounted bytes
+    std::size_t entries = 0;  ///< live entries
+  };
+
+  /// \p byte_budget bounds the accounted bytes (a single oversized result
+  /// is simply not cached).  \p tracker defaults to the global tracker.
+  explicit ResultCache(std::size_t byte_budget,
+                       util::MemoryTracker* tracker = nullptr);
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached response for (epoch, canonical), refreshing its recency;
+  /// nullopt on miss.  Thread-safe.
+  std::optional<std::string> lookup(std::uint64_t epoch,
+                                    const std::string& canonical);
+
+  /// Caches \p result, evicting least-recently-used entries until the
+  /// budget holds.  Re-inserting an existing key refreshes its value and
+  /// recency.  Thread-safe.
+  void insert(std::uint64_t epoch, const std::string& canonical,
+              const std::string& result);
+
+  /// Drops every entry (budget and counters keep their values).
+  void clear();
+
+  [[nodiscard]] std::size_t byte_budget() const noexcept { return budget_; }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  using EntryList = std::list<Entry>;
+
+  static std::string make_key(std::uint64_t epoch,
+                              const std::string& canonical) {
+    return std::to_string(epoch) + ':' + canonical;
+  }
+  static std::size_t entry_bytes(const Entry& entry) noexcept {
+    return entry.key.size() + entry.value.size() + kEntryOverhead;
+  }
+  /// Unlinks one entry (caller holds the mutex).
+  void drop(EntryList::iterator it);
+
+  const std::size_t budget_;
+  util::MemoryTracker& tracker_;
+
+  mutable std::mutex mutex_;
+  EntryList lru_;  ///< front = most recent
+  std::unordered_map<std::string, EntryList::iterator> map_;
+  Stats stats_;
+};
+
+}  // namespace gsb::service
+
+#endif  // GSB_SERVICE_RESULT_CACHE_H

@@ -1,0 +1,375 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GSB_HAVE_UNIX_SOCKETS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace gsb::service {
+namespace {
+
+/// Counters shared by every transport/connection so `stats` answers for
+/// the whole server, not one connection.
+struct ServeState {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<bool> stopping{false};
+  ResultCache* cache = nullptr;
+  const std::atomic<bool>* external_stop = nullptr;
+
+  [[nodiscard]] bool should_stop() const noexcept {
+    return stopping.load(std::memory_order_relaxed) ||
+           (external_stop != nullptr &&
+            external_stop->load(std::memory_order_relaxed));
+  }
+};
+
+std::string trimmed(const std::string& line) {
+  const auto begin = line.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto end = line.find_last_not_of(" \t\r\n");
+  return line.substr(begin, end - begin + 1);
+}
+
+/// Handles `ping` / `stats` / `shutdown`; nullopt for ordinary queries.
+std::optional<std::string> control_response(ServeState& state,
+                                            const std::string& request) {
+  if (request == "ping") return std::string("ok pong");
+  if (request == "shutdown") {
+    state.stopping.store(true, std::memory_order_relaxed);
+    return std::string("ok shutdown");
+  }
+  if (request == "stats") {
+    std::string out =
+        "ok stats: requests=" +
+        std::to_string(state.requests.load(std::memory_order_relaxed)) +
+        " cache_hits=" +
+        std::to_string(state.cache_hits.load(std::memory_order_relaxed)) +
+        " cache_misses=" +
+        std::to_string(state.cache_misses.load(std::memory_order_relaxed));
+    if (state.cache != nullptr) {
+      const auto cache_stats = state.cache->stats();
+      out += " cache_entries=" + std::to_string(cache_stats.entries) +
+             " cache_bytes=" + std::to_string(cache_stats.bytes);
+    }
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
+                        std::istream& in, std::ostream& out,
+                        const ServeOptions& options) {
+  if (entry == nullptr) {
+    throw std::invalid_argument("serve_stream: null graph entry");
+  }
+  ServeState state;
+  state.cache = options.cache;
+  state.external_stop = options.stop;
+  ServeStats stats;
+
+  // Session-lifetime state: multi-line groups borrow one pool and one set
+  // of per-thread engines (no thread setup, no re-opened clique readers
+  // per group), and single-line groups — the interactive case — run on
+  // one persistent engine.  A long session opens the artifacts once.
+  std::size_t threads = options.threads;
+  if (threads == 0) threads = par::ThreadPool::default_threads();
+  std::optional<par::ThreadPool> pool;
+  std::vector<QueryEngine> group_engines;
+  if (threads > 1) {
+    pool.emplace(threads);
+    group_engines.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) group_engines.emplace_back(entry);
+  }
+  QueryEngine session_engine(entry);
+  std::uint64_t session_hits = 0;
+  std::uint64_t session_misses = 0;
+
+  std::vector<std::string> group;
+  std::string line;
+  while (!state.should_stop() && std::getline(in, line)) {
+    // Group the contiguously available request lines so independent
+    // queries fan out together; responses still flush in request order.
+    group.clear();
+    group.push_back(line);
+    while (in.rdbuf()->in_avail() > 0 && std::getline(in, line)) {
+      group.push_back(line);
+    }
+
+    std::size_t begin = 0;
+    auto flush_queries = [&](std::size_t end) {
+      if (begin == end) return;
+      if (threads == 1 || end - begin == 1) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint64_t h0 = session_hits;
+          const std::uint64_t m0 = session_misses;
+          out << execute_cached_line(session_engine, options.cache, group[i],
+                                     session_hits, session_misses)
+              << '\n';
+          state.cache_hits.fetch_add(session_hits - h0,
+                                     std::memory_order_relaxed);
+          state.cache_misses.fetch_add(session_misses - m0,
+                                       std::memory_order_relaxed);
+        }
+        begin = end;
+        return;
+      }
+      const std::vector<std::string> slice(group.begin() + begin,
+                                           group.begin() + end);
+      BatchOptions batch;
+      batch.threads = threads;
+      batch.cache = options.cache;
+      batch.pool = pool ? &*pool : nullptr;
+      batch.engines = group_engines.empty() ? nullptr : &group_engines;
+      const auto result = execute_batch(entry, slice, batch);
+      for (const std::string& response : result.responses) {
+        out << response << '\n';
+      }
+      stats.engine += result.engine;
+      stats.cache_hits += result.cache_hits;
+      stats.cache_misses += result.cache_misses;
+      state.cache_hits.fetch_add(result.cache_hits,
+                                 std::memory_order_relaxed);
+      state.cache_misses.fetch_add(result.cache_misses,
+                                   std::memory_order_relaxed);
+      begin = end;
+    };
+
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const std::string request = trimmed(group[i]);
+      if (request.empty()) {  // blank keep-alive: no response, not counted
+        flush_queries(i);
+        begin = i + 1;
+        continue;
+      }
+      state.requests.fetch_add(1, std::memory_order_relaxed);
+      ++stats.requests;
+      if (const auto control = control_response(state, request)) {
+        // Everything queued before the control line answers first.
+        flush_queries(i);
+        begin = i + 1;
+        out << *control << '\n';
+      }
+    }
+    flush_queries(group.size());
+    out.flush();
+  }
+  stats.engine += session_engine.stats();
+  stats.cache_hits += session_hits;
+  stats.cache_misses += session_misses;
+  stats.shutdown_requested = state.stopping.load(std::memory_order_relaxed);
+  return stats;
+}
+
+#if GSB_HAVE_UNIX_SOCKETS
+
+namespace {
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One connection: per-connection engine, shared cache/state; answers
+/// request lines until EOF or server stop.
+void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
+                       ServeState& state, std::mutex& stats_mutex,
+                       ServeStats& stats) {
+  QueryEngine engine(entry);
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t requests = 0;
+  std::string pending;
+  char chunk[4096];
+  bool write_ok = true;   // a failed write aborts the connection
+  bool closing = false;   // shutdown seen: drain what is buffered, close
+  auto answer = [&](const std::string& request) {
+    if (request.empty() || !write_ok) return;
+    ++requests;
+    state.requests.fetch_add(1, std::memory_order_relaxed);
+    std::string response;
+    if (const auto control = control_response(state, request)) {
+      response = *control;
+      if (request == "shutdown") closing = true;
+    } else {
+      response =
+          execute_cached_line(engine, state.cache, request, hits, misses);
+    }
+    write_ok = write_all(fd, response + '\n');
+  };
+  while (write_ok && !closing) {
+    struct pollfd poller{fd, POLLIN, 0};
+    const int ready = ::poll(&poller, 1, 200);
+    if (state.should_stop()) break;  // graceful: in-flight lines finished
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      // EOF: a final request without a trailing newline is still a
+      // request — answer it before closing instead of dropping it.
+      if (n == 0) answer(trimmed(pending));
+      break;
+    }
+    pending.append(chunk, static_cast<std::size_t>(n));
+    // Answer every complete buffered line — including lines received
+    // after a `shutdown` in the same read, matching the stream
+    // transport's drain-then-stop contract.
+    std::size_t start = 0;
+    for (std::size_t nl = pending.find('\n', start);
+         nl != std::string::npos; nl = pending.find('\n', start)) {
+      const std::string request = trimmed(pending.substr(start, nl - start));
+      start = nl + 1;
+      answer(request);
+    }
+    pending.erase(0, start);
+  }
+  ::close(fd);
+  state.cache_hits.fetch_add(hits, std::memory_order_relaxed);
+  state.cache_misses.fetch_add(misses, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mutex);
+  stats.requests += requests;
+  stats.cache_hits += hits;
+  stats.cache_misses += misses;
+  stats.engine += engine.stats();
+}
+
+}  // namespace
+
+ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry> entry,
+                             const std::string& socket_path,
+                             const ServeOptions& options) {
+  if (entry == nullptr) {
+    throw std::invalid_argument("serve_unix_socket: null graph entry");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  // Replace a *stale* socket file only: never delete a non-socket, and
+  // never hijack a path another live server is still accepting on (a
+  // connect() probe distinguishes the two — a live listener accepts, a
+  // leftover file refuses).
+  struct stat st{};
+  if (::stat(socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      throw std::runtime_error("serve: '" + socket_path +
+                               "' exists and is not a socket");
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const int live = ::connect(
+          probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+      ::close(probe);
+      if (live == 0) {
+        throw std::runtime_error("serve: '" + socket_path +
+                                 "' is already served by a live process");
+      }
+    }
+    ::unlink(socket_path.c_str());
+  }
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) throw std::runtime_error("serve: socket() failed");
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    ::close(listen_fd);
+    throw std::runtime_error("serve: cannot bind '" + socket_path + "'");
+  }
+  // Identity of the socket file *we* bound: exit-time cleanup must not
+  // delete a replacement bound by a newer server instance.
+  struct stat bound{};
+  const bool have_bound = ::stat(socket_path.c_str(), &bound) == 0;
+
+  ServeState state;
+  state.cache = options.cache;
+  state.external_stop = options.stop;
+  ServeStats stats;
+  std::mutex stats_mutex;
+
+  // Finished connections are reaped on every accept-loop tick so a
+  // long-lived daemon's thread resources stay proportional to *live*
+  // connections, not to how many it has ever served.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> workers;
+  auto reap = [&](bool all) {
+    for (auto it = workers.begin(); it != workers.end();) {
+      if (all || it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = workers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (!state.should_stop()) {
+    struct pollfd poller{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&poller, 1, 200);
+    reap(false);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flags
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++stats.connections;
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    workers.push_back(Connection{
+        std::thread([fd, entry, &state, &stats_mutex, &stats, done] {
+          handle_connection(fd, entry, state, stats_mutex, stats);
+          done->store(true, std::memory_order_release);
+        }),
+        done});
+  }
+  ::close(listen_fd);
+  reap(true);
+  struct stat current{};
+  if (have_bound && ::stat(socket_path.c_str(), &current) == 0 &&
+      current.st_ino == bound.st_ino && current.st_dev == bound.st_dev) {
+    ::unlink(socket_path.c_str());
+  }
+  stats.shutdown_requested = state.stopping.load(std::memory_order_relaxed);
+  return stats;
+}
+
+#else  // !GSB_HAVE_UNIX_SOCKETS
+
+ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry>,
+                             const std::string&, const ServeOptions&) {
+  throw std::runtime_error(
+      "serve: Unix-domain sockets are unavailable on this platform; use the "
+      "stdin transport");
+}
+
+#endif
+
+}  // namespace gsb::service

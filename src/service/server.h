@@ -1,0 +1,69 @@
+#ifndef GSB_SERVICE_SERVER_H
+#define GSB_SERVICE_SERVER_H
+
+/// \file server.h
+/// The long-lived serving loop behind `gsb serve`: newline-delimited
+/// requests in, one response line per request out, over one of two
+/// transports (wire format in docs/SERVICE.md):
+///
+///   * **stream** — requests on an istream (stdin in the CLI), responses
+///     on an ostream.  Contiguously available request lines are grouped
+///     and fanned over the thread pool via execute_batch; responses are
+///     always emitted in request order, so a scripted session's output is
+///     byte-reproducible at any thread count.
+///   * **Unix-domain socket** — an accept loop with one worker thread per
+///     connection over the shared entry and cache; concurrency across
+///     connections, request order preserved within each.
+///
+/// Control requests: `ping` (liveness), `stats` (served/cache counters),
+/// `shutdown` (graceful stop: in-flight requests finish, every connection
+/// is answered and closed, the accept loop drains).  An external stop
+/// flag serves the same purpose for signal handlers.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "service/batch_executor.h"
+#include "service/graph_catalog.h"
+#include "service/result_cache.h"
+
+namespace gsb::service {
+
+struct ServeOptions {
+  std::size_t threads = 0;       ///< 0 = hardware cores
+  ResultCache* cache = nullptr;  ///< optional shared response cache
+  /// Optional external shutdown flag (e.g. set by a SIGTERM handler);
+  /// polled between requests and by the accept loop.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+struct ServeStats {
+  std::uint64_t requests = 0;     ///< lines served (control lines included)
+  std::uint64_t connections = 0;  ///< socket transport only
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  QueryEngineStats engine;
+  bool shutdown_requested = false;  ///< a client sent `shutdown`
+};
+
+/// Serves requests from \p in until EOF, a `shutdown` request, or the
+/// external stop flag.  Responses go to \p out in request order, flushed
+/// per group.
+ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
+                        std::istream& in, std::ostream& out,
+                        const ServeOptions& options);
+
+/// Binds \p socket_path (an existing stale socket file is replaced) and
+/// serves until a `shutdown` request or the external stop flag.  Throws
+/// std::runtime_error when the transport is unavailable (non-POSIX build)
+/// or the socket cannot be bound.
+ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry> entry,
+                             const std::string& socket_path,
+                             const ServeOptions& options);
+
+}  // namespace gsb::service
+
+#endif  // GSB_SERVICE_SERVER_H

@@ -28,6 +28,31 @@ void serialize_header(char (&buffer)[kGsbcHeaderBytes],
 
 }  // namespace
 
+// --- LEB128 varints ---------------------------------------------------------
+
+void append_leb128(std::vector<unsigned char>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<unsigned char>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<unsigned char>(value));
+}
+
+std::uint64_t decode_leb128(std::span<const unsigned char> bytes,
+                            std::size_t& pos) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  while (true) {
+    if (pos == bytes.size()) fail("truncated varint");
+    const unsigned char byte = bytes[pos++];
+    if (shift >= 63 && (byte >> 1) != 0) fail("varint overflow");
+    if (shift > 0 && byte == 0) fail("over-long varint encoding");
+    value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) return value;
+    shift += 7;
+  }
+}
+
 // --- writer -----------------------------------------------------------------
 
 GsbcWriter::GsbcWriter(const std::string& path, std::size_t order)
@@ -51,11 +76,7 @@ GsbcWriter::~GsbcWriter() {
 }
 
 void GsbcWriter::put_varint(std::uint64_t value) {
-  while (value >= 0x80) {
-    buffer_.push_back(static_cast<unsigned char>(value) | 0x80u);
-    value >>= 7;
-  }
-  buffer_.push_back(static_cast<unsigned char>(value));
+  append_leb128(buffer_, value);
 }
 
 void GsbcWriter::flush_buffer() {
@@ -140,6 +161,25 @@ GsbcReader GsbcReader::open(const std::string& path, const Options& options) {
     fail("inconsistent header counts");
   }
 
+  // Bound the payload by the header counts before trusting either: every
+  // record is at least one byte per varint (size + members) and at most ten,
+  // so a truncated stream or trailing garbage is rejected at open — not
+  // after a half-parsed header has already been reported.
+  reader.in_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(reader.in_.tellg());
+  reader.in_.seekg(kGsbcHeaderBytes);
+  const std::uint64_t payload = file_size - kGsbcHeaderBytes;
+  const std::uint64_t varints = header.clique_count + header.member_total;
+  if (payload < varints) {
+    fail("file truncated: " + std::to_string(payload) +
+         " payload bytes cannot hold " + std::to_string(header.clique_count) +
+         " cliques");
+  }
+  if (payload > 10 * varints) {  // varints <= payload < 2^60: no overflow
+    fail(varints == 0 ? "trailing bytes in an empty stream"
+                      : "file size inconsistent with header counts");
+  }
+
   if (options.verify_checksum) {
     Fnv1a sum;
     std::vector<unsigned char> chunk(kIoBuffer);
@@ -160,6 +200,7 @@ GsbcReader GsbcReader::open(const std::string& path, const Options& options) {
 }
 
 bool GsbcReader::fill() {
+  buf_file_base_ += buf_end_;
   in_.read(reinterpret_cast<char*>(buffer_.data()),
            static_cast<std::streamsize>(buffer_.size()));
   buf_end_ = static_cast<std::size_t>(in_.gcount());
@@ -176,6 +217,7 @@ std::uint64_t GsbcReader::read_varint() {
     }
     const unsigned char byte = buffer_[buf_pos_++];
     if (shift >= 63 && (byte >> 1) != 0) fail("varint overflow");
+    if (shift > 0 && byte == 0) fail("over-long varint encoding");
     value |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
     if ((byte & 0x80u) == 0) return value;
     shift += 7;
@@ -187,6 +229,16 @@ bool GsbcReader::next(std::vector<graph::VertexId>& out) {
     if (cliques_read_ != header_.clique_count) {
       fail("stream ended after " + std::to_string(cliques_read_) + " of " +
            std::to_string(header_.clique_count) + " cliques");
+    }
+    // The payload checksum does not protect the header, so the aggregate
+    // fields are cross-checked against what the scan actually decoded —
+    // a doctored member_total/max_size must not survive a clean drain.
+    if (members_read_ != header_.member_total) {
+      fail("header claims " + std::to_string(header_.member_total) +
+           " members, stream holds " + std::to_string(members_read_));
+    }
+    if (max_seen_ != header_.max_size) {
+      fail("header max clique size disagrees with the stream");
     }
     return false;
   }
@@ -207,6 +259,8 @@ bool GsbcReader::next(std::vector<graph::VertexId>& out) {
     member += delta;
   }
   ++cliques_read_;
+  members_read_ += size;
+  max_seen_ = std::max(max_seen_, size);
   return true;
 }
 

@@ -25,6 +25,20 @@
 
 namespace gsb::storage {
 
+/// --- LEB128 varints ---------------------------------------------------------
+/// The `.gsbc` record coding, exposed so the `.gsbci` index and the tests
+/// can share the exact encoder/decoder the stream uses.
+
+/// Appends the unsigned LEB128 encoding of \p value (1..10 bytes).
+void append_leb128(std::vector<unsigned char>& out, std::uint64_t value);
+
+/// Decodes one varint starting at \p pos, advancing \p pos past it.
+/// Throws std::runtime_error on truncation, on values that overflow 64
+/// bits, and on non-canonical (over-long) encodings — a trailing 0x00
+/// continuation byte never appears in a minimal encoding.
+std::uint64_t decode_leb128(std::span<const unsigned char> bytes,
+                            std::size_t& pos);
+
 /// Totals reported by GsbcWriter::close().
 struct GsbcWriteStats {
   std::uint64_t clique_count = 0;
@@ -109,6 +123,12 @@ class GsbcReader {
   /// that disagrees with the header.
   bool next(std::vector<graph::VertexId>& out);
 
+  /// Absolute file offset of the record the next next() call will decode
+  /// (the `.gsbci` builder records these for random access).
+  [[nodiscard]] std::uint64_t next_record_offset() const noexcept {
+    return buf_file_base_ + buf_pos_;
+  }
+
  private:
   GsbcReader() = default;
 
@@ -120,7 +140,10 @@ class GsbcReader {
   std::vector<unsigned char> buffer_;
   std::size_t buf_pos_ = 0;
   std::size_t buf_end_ = 0;
+  std::uint64_t buf_file_base_ = kGsbcHeaderBytes;  ///< offset of buffer_[0]
   std::uint64_t cliques_read_ = 0;
+  std::uint64_t members_read_ = 0;
+  std::uint64_t max_seen_ = 0;
 };
 
 }  // namespace gsb::storage

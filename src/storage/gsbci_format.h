@@ -1,0 +1,60 @@
+#ifndef GSB_STORAGE_GSBCI_FORMAT_H
+#define GSB_STORAGE_GSBCI_FORMAT_H
+
+/// \file gsbci_format.h
+/// On-disk layout of the `.gsbci` clique-index sidecar — random access into
+/// a `.gsbc` clique stream.
+///
+/// A `.gsbc` stream is a strict forward scan by design; that is perfect for
+/// one-pass analytics but makes per-vertex membership queries O(stream).
+/// The sidecar inverts the stream once so the query service can answer
+/// `cliques-containing v` by touching only the |postings(v)| records that
+/// matter.  All integers are little-endian.  Byte layout:
+///
+///   Header (64 bytes, offset 0):
+///     char[8]  magic            "GSBCIDX1"
+///     u32      version          kGsbciVersion
+///     u32      flags            zero (reserved)
+///     u64      n                vertex universe (== companion .gsbc n)
+///     u64      clique_count     records in the companion stream
+///     u64      posting_total    sum of posting-list lengths (== member_total)
+///     u64      source_checksum  header checksum of the companion .gsbc —
+///                               binds the index to the exact stream bytes
+///     u64      checksum         FNV-1a 64 over bytes [64, file size)
+///     u64      reserved         zero
+///   Payload (offset 64, contiguous u64 arrays):
+///     u64  clique_offsets[clique_count]  absolute .gsbc offset of record i
+///     u64  posting_offsets[n + 1]        CSR bounds into postings, monotone
+///     u64  postings[posting_total]       ascending clique ids containing v
+///
+/// The file size is therefore exactly
+///   64 + 8 * (clique_count + n + 1 + posting_total)
+/// which the reader checks before trusting any array bound.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/gsbg_format.h"  // Fnv1a — the shared integrity checksum
+
+namespace gsb::storage {
+
+inline constexpr char kGsbciMagic[8] = {'G', 'S', 'B', 'C', 'I', 'D', 'X',
+                                        '1'};
+inline constexpr std::uint32_t kGsbciVersion = 1;
+inline constexpr std::size_t kGsbciHeaderBytes = 64;
+
+/// In-memory mirror of the fixed header (the reader/writer move fields
+/// explicitly to stay layout-exact, as for .gsbg/.gsbc).
+struct GsbciHeader {
+  std::uint32_t version = kGsbciVersion;
+  std::uint32_t flags = 0;
+  std::uint64_t n = 0;
+  std::uint64_t clique_count = 0;
+  std::uint64_t posting_total = 0;
+  std::uint64_t source_checksum = 0;
+  std::uint64_t checksum = 0;
+};
+
+}  // namespace gsb::storage
+
+#endif  // GSB_STORAGE_GSBCI_FORMAT_H

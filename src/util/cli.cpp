@@ -21,6 +21,13 @@ std::string env_name(const std::string& flag) {
 Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--") {
+      // Conventional end-of-flags marker: the rest is positional even when
+      // it starts with dashes (lets a boolean flag precede, e.g.
+      // `gsb query --stats -- 'cliques-containing 17'`).
+      for (++i; i < argc; ++i) positional_.emplace_back(argv[i]);
+      break;
+    }
     if (arg.rfind("--", 0) != 0) {
       positional_.push_back(std::move(arg));
       continue;

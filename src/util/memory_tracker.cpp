@@ -41,6 +41,8 @@ std::string_view MemoryTracker::tag_name(MemTag tag) noexcept {
       return "graph";
     case MemTag::kScratch:
       return "scratch";
+    case MemTag::kResultCache:
+      return "result-cache";
     case MemTag::kOther:
       return "other";
     case MemTag::kNumTags:

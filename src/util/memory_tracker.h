@@ -28,6 +28,7 @@ enum class MemTag : unsigned {
   kBitmaps,            ///< common-neighbor bit strings
   kGraph,              ///< adjacency structures
   kScratch,            ///< transient working buffers
+  kResultCache,        ///< query-service cached responses
   kOther,
   kNumTags
 };

@@ -101,6 +101,56 @@ TEST(CliDocs, ReadmeLinksTheDocSet) {
   EXPECT_NE(readme.find("docs/CLI.md"), std::string::npos);
   EXPECT_NE(readme.find("docs/FORMATS.md"), std::string::npos);
   EXPECT_NE(readme.find("docs/PERFORMANCE.md"), std::string::npos);
+  EXPECT_NE(readme.find("docs/SERVICE.md"), std::string::npos);
+}
+
+/// Subcommands dispatched by main(): `if (command == "...")`.
+std::set<std::string> dispatched_commands(const std::string& source) {
+  std::set<std::string> commands;
+  static const std::regex pattern(R"re(command == "([a-z]+)")re");
+  for (auto it = std::sregex_iterator(source.begin(), source.end(), pattern);
+       it != std::sregex_iterator(); ++it) {
+    commands.insert((*it)[1].str());
+  }
+  return commands;
+}
+
+TEST(CliDocs, EveryDispatchedCommandIsDocumented) {
+  const auto commands =
+      dispatched_commands(read_file(source_path("src/cli/gsb_main.cpp")));
+  ASSERT_FALSE(commands.empty());
+  const auto manual = read_file(source_path("docs/CLI.md"));
+  for (const auto& command : commands) {
+    if (command == "help") continue;  // `gsb help` == --help, no section
+    EXPECT_NE(manual.find("## gsb " + command), std::string::npos)
+        << "docs/CLI.md lacks a section for `gsb " << command << "`";
+  }
+  // ...and the summary usage text lists each one.
+  const auto source = read_file(source_path("src/cli/gsb_main.cpp"));
+  for (const auto& command : commands) {
+    EXPECT_NE(source.find("\n  " + command), std::string::npos)
+        << "gsb --help does not list the `" << command << "` command";
+  }
+}
+
+TEST(CliDocs, ServiceDocCoversTheQueryGrammar) {
+  // Every query keyword the parser dispatches on must be documented in the
+  // SERVICE.md grammar (and advertised queries must parse — the reverse
+  // direction is covered by service_test's parse cases).
+  const auto parser = read_file(source_path("src/service/query.cpp"));
+  std::set<std::string> keywords;
+  static const std::regex pattern(R"re(keyword == "([a-z-]+)")re");
+  for (auto it = std::sregex_iterator(parser.begin(), parser.end(), pattern);
+       it != std::sregex_iterator(); ++it) {
+    keywords.insert((*it)[1].str());
+  }
+  ASSERT_GE(keywords.size(), 8u);
+  const auto doc = read_file(source_path("docs/SERVICE.md"));
+  for (const auto& keyword : keywords) {
+    EXPECT_NE(doc.find("`" + keyword), std::string::npos)
+        << "docs/SERVICE.md does not document the `" << keyword
+        << "` query";
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -155,23 +156,251 @@ TEST(GsbcStream, RejectsCorruption) {
   verify.verify_checksum = true;
   EXPECT_THROW(GsbcReader::open(path, verify), std::runtime_error);
 
-  // Truncation: the forward scan must fail loudly, not end cleanly.
+  // Truncation: rejected at open by the payload-size bound — the header's
+  // counts can no longer fit in the remaining bytes (this is what keeps
+  // `gsb info` from reporting totals a cut-off file does not contain).
   fs::resize_file(path, size - 4);
-  auto truncated = GsbcReader::open(path);
-  Clique clique;
-  EXPECT_THROW(
-      {
-        while (truncated.next(clique)) {
-        }
-      },
-      std::runtime_error);
+  EXPECT_THROW(GsbcReader::open(path), std::runtime_error);
 
   // Bad magic.
+  fs::resize_file(path, size);
   {
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
     f.write("NOTGSBC1", 8);
   }
   EXPECT_THROW(GsbcReader::open(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GsbcStream, OpenRejectsTruncatedAndPaddedFiles) {
+  const std::string path = temp_path("gsbc_bounds.gsbc");
+  {
+    GsbcWriter writer(path, 100);
+    writer.append(std::vector<graph::VertexId>{1, 2, 3});
+    writer.append(std::vector<graph::VertexId>{4, 90});
+    writer.close();
+  }
+  const auto size = fs::file_size(path);
+
+  // Header intact, payload cut: open fails before any totals are reported.
+  fs::resize_file(path, size - 1);
+  EXPECT_THROW(GsbcReader::open(path), std::runtime_error);
+  fs::resize_file(path, kGsbcHeaderBytes);  // header only, counts nonzero
+  EXPECT_THROW(GsbcReader::open(path), std::runtime_error);
+  // Shorter than the header itself.
+  fs::resize_file(path, kGsbcHeaderBytes / 2);
+  EXPECT_THROW(GsbcReader::open(path), std::runtime_error);
+  std::remove(path.c_str());
+
+  // A zero-clique stream must be exactly the header: trailing bytes mean
+  // the counts are lying.
+  const std::string empty_path = temp_path("gsbc_bounds_empty.gsbc");
+  {
+    GsbcWriter writer(empty_path, 10);
+    writer.close();
+  }
+  {
+    auto reader = GsbcReader::open(empty_path);  // valid when exact
+    EXPECT_EQ(reader.clique_count(), 0u);
+  }
+  {
+    std::ofstream f(empty_path, std::ios::binary | std::ios::app);
+    f.write("junk", 4);
+  }
+  EXPECT_THROW(GsbcReader::open(empty_path), std::runtime_error);
+  std::remove(empty_path.c_str());
+
+  // A cut *inside* a multi-byte varint can stay within the open-time
+  // bounds (they assume one byte per varint); the forward scan — which
+  // `gsb info` runs before reporting any totals — must still fail loudly.
+  const std::string inbounds_path = temp_path("gsbc_bounds_inbounds.gsbc");
+  {
+    GsbcWriter writer(inbounds_path, 100000);
+    // Large ids -> multi-byte varints -> slack between the byte floor and
+    // the real payload size.
+    writer.append(std::vector<graph::VertexId>{70000, 80000, 90000});
+    writer.append(std::vector<graph::VertexId>{65000, 99999});
+    writer.close();
+  }
+  fs::resize_file(inbounds_path, fs::file_size(inbounds_path) - 2);
+  auto inbounds = GsbcReader::open(inbounds_path);  // bounds are satisfied
+  Clique clique;
+  EXPECT_THROW(
+      {
+        while (inbounds.next(clique)) {
+        }
+      },
+      std::runtime_error);
+  std::remove(inbounds_path.c_str());
+
+  // Padding past the 10-bytes-per-varint ceiling is likewise rejected.
+  const std::string padded_path = temp_path("gsbc_bounds_padded.gsbc");
+  {
+    GsbcWriter writer(padded_path, 100);
+    writer.append(std::vector<graph::VertexId>{5});
+    writer.close();
+  }
+  {
+    std::ofstream f(padded_path, std::ios::binary | std::ios::app);
+    const std::vector<char> pad(64, '\0');
+    f.write(pad.data(), static_cast<std::streamsize>(pad.size()));
+  }
+  EXPECT_THROW(GsbcReader::open(padded_path), std::runtime_error);
+  std::remove(padded_path.c_str());
+}
+
+TEST(GsbcStream, RejectsDoctoredHeaderTotals) {
+  // The checksum covers only the payload, so header aggregates must be
+  // cross-checked against what the scan decodes.  Multi-byte varints give
+  // the payload slack inside the open-time bounds, so a small edit to
+  // member_total/max_size survives open — the drain must catch it.
+  const std::string path = temp_path("gsbc_doctored.gsbc");
+  auto write_stream = [&] {
+    GsbcWriter writer(path, 100000);
+    writer.append(std::vector<graph::VertexId>{70000, 80000, 90000});
+    writer.append(std::vector<graph::VertexId>{65000, 99999});
+    writer.close();
+  };
+  auto patch_u64 = [&](std::streamoff offset, std::uint64_t value) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(offset);
+    f.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  auto drain_throws = [&] {
+    auto reader = GsbcReader::open(path);
+    Clique clique;
+    EXPECT_THROW(
+        {
+          while (reader.next(clique)) {
+          }
+        },
+        std::runtime_error);
+  };
+
+  write_stream();
+  patch_u64(32, 6);  // member_total: 5 -> 6
+  drain_throws();
+  write_stream();
+  patch_u64(40, 4);  // max_size: 3 -> 4
+  drain_throws();
+  std::remove(path.c_str());
+}
+
+// --- LEB128 varint codec -----------------------------------------------------
+
+/// Reference encoder, written independently of append_leb128.
+std::vector<unsigned char> reference_leb128(std::uint64_t value) {
+  std::vector<unsigned char> out;
+  do {
+    unsigned char byte = value & 0x7Fu;
+    value >>= 7;
+    if (value != 0) byte |= 0x80u;
+    out.push_back(byte);
+  } while (value != 0);
+  return out;
+}
+
+TEST(Leb128, BoundaryValuesRoundTrip) {
+  std::vector<std::uint64_t> values{0, 1};
+  for (unsigned bits = 7; bits < 64; bits += 7) {
+    const std::uint64_t boundary = 1ull << bits;  // 2^7, 2^14, ..., 2^63
+    values.push_back(boundary - 1);
+    values.push_back(boundary);
+    values.push_back(boundary + 1);
+  }
+  values.push_back((1ull << 63) - 1);
+  values.push_back(1ull << 63);
+  values.push_back(~0ull);
+  for (const std::uint64_t value : values) {
+    std::vector<unsigned char> encoded;
+    append_leb128(encoded, value);
+    EXPECT_EQ(encoded, reference_leb128(value)) << value;
+    std::size_t pos = 0;
+    EXPECT_EQ(decode_leb128(encoded, pos), value);
+    EXPECT_EQ(pos, encoded.size()) << value;
+  }
+}
+
+TEST(Leb128, RandomizedDifferentialRoundTrip) {
+  util::Rng rng(4242);
+  std::vector<unsigned char> stream;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Uniform over bit widths so every encoded length is exercised.
+    const auto bits = static_cast<unsigned>(rng.uniform_int(0, 64));
+    std::uint64_t value = rng();
+    if (bits < 64) value &= (1ull << bits) - 1;
+    values.push_back(value);
+    const auto expected = reference_leb128(value);
+    std::vector<unsigned char> encoded;
+    append_leb128(encoded, value);
+    ASSERT_EQ(encoded, expected) << value;
+    stream.insert(stream.end(), encoded.begin(), encoded.end());
+  }
+  // Decode the whole concatenated stream back.
+  std::size_t pos = 0;
+  for (const std::uint64_t value : values) {
+    ASSERT_EQ(decode_leb128(stream, pos), value);
+  }
+  EXPECT_EQ(pos, stream.size());
+}
+
+TEST(Leb128, RejectsTruncationOverflowAndOverlongEncodings) {
+  // Every strict prefix of a multi-byte encoding is truncated.
+  std::vector<unsigned char> encoded;
+  append_leb128(encoded, ~0ull);  // 10 bytes
+  ASSERT_EQ(encoded.size(), 10u);
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    const std::span<const unsigned char> prefix(encoded.data(), cut);
+    std::size_t pos = 0;
+    EXPECT_THROW(decode_leb128(prefix, pos), std::runtime_error) << cut;
+  }
+
+  // 2^64 (11 significant bytes) and a 10th byte with high bits overflow.
+  const std::vector<unsigned char> too_big{0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                                           0x80, 0x80, 0x80, 0x80, 0x01};
+  std::size_t pos = 0;
+  EXPECT_THROW(decode_leb128(too_big, pos), std::runtime_error);
+  const std::vector<unsigned char> tenth_byte_overflow{
+      0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02};
+  pos = 0;
+  EXPECT_THROW(decode_leb128(tenth_byte_overflow, pos), std::runtime_error);
+
+  // Over-long (non-canonical) encodings: a trailing 0x00 continuation.
+  const std::vector<unsigned char> overlong_zero{0x80, 0x00};
+  pos = 0;
+  EXPECT_THROW(decode_leb128(overlong_zero, pos), std::runtime_error);
+  const std::vector<unsigned char> overlong_value{0xFF, 0x80, 0x00};
+  pos = 0;
+  EXPECT_THROW(decode_leb128(overlong_value, pos), std::runtime_error);
+
+  // The canonical single 0x00 is plain zero, not over-long.
+  const std::vector<unsigned char> zero{0x00};
+  pos = 0;
+  EXPECT_EQ(decode_leb128(zero, pos), 0u);
+
+  // The stream reader applies the same rejection: splice an over-long
+  // varint into a record and the scan fails loudly.
+  const std::string path = temp_path("gsbc_overlong.gsbc");
+  {
+    GsbcWriter writer(path, 300);
+    writer.append(std::vector<graph::VertexId>{1, 200});
+    writer.close();
+  }
+  {
+    // Record bytes: size=2, member 1, delta 199 (2-byte varint 0xC7 0x01).
+    // Rewrite the delta as over-long 0xC7 0x81 0x00 won't fit; instead
+    // rewrite member "1" (1 byte) at its exact offset as 0x81 0x00 by
+    // shifting is impossible in place — so target the 2-byte delta and
+    // replace it with an over-long encoding of 71: 0xC7 0x00.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kGsbcHeaderBytes + 2));
+    const unsigned char overlong[2] = {0xC7, 0x00};
+    f.write(reinterpret_cast<const char*>(overlong), 2);
+  }
+  auto reader = GsbcReader::open(path);
+  Clique clique;
+  EXPECT_THROW(reader.next(clique), std::runtime_error);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,572 @@
+// Tests for the graph query service: catalog ref-counting and epochs, the
+// .gsbci clique index (indexed answers == full-stream rescans, and indexed
+// queries never touch the rest of the stream), byte-identical results with
+// the cache on/off and at every thread count, LRU eviction under the byte
+// budget, and the serve loop's stream/socket transports.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/clique_stats.h"
+#include "analysis/hubs.h"
+#include "analysis/paraclique.h"
+#include "core/bron_kerbosch.h"
+#include "core/clique.h"
+#include "graph/transforms.h"
+#include "service/batch_executor.h"
+#include "service/clique_index.h"
+#include "service/graph_catalog.h"
+#include "service/query.h"
+#include "service/query_engine.h"
+#include "service/result_cache.h"
+#include "service/server.h"
+#include "storage/clique_stream.h"
+#include "storage/gsbg_writer.h"
+#include "tests/test_helpers.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GSB_TEST_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace gsb::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+/// Graph + clique stream + sidecar index on disk for one seeded graph.
+struct Artifacts {
+  graph::Graph graph;
+  std::string gsbg;
+  std::string gsbc;
+  std::string gsbci;
+
+  ~Artifacts() {
+    std::remove(gsbg.c_str());
+    std::remove(gsbc.c_str());
+    std::remove(gsbci.c_str());
+  }
+};
+
+Artifacts make_artifacts(std::size_t n, double p, std::uint64_t seed,
+                         const std::string& stem) {
+  Artifacts a;
+  a.graph = test::random_graph(n, p, seed);
+  a.gsbg = temp_path(stem + ".gsbg");
+  a.gsbc = temp_path(stem + ".gsbc");
+  a.gsbci = default_index_path(a.gsbc);
+  storage::write_gsbg_file(a.graph, a.gsbg);
+  storage::GsbcWriter writer(a.gsbc, a.graph.order());
+  core::degeneracy_bk(a.graph, [&](std::span<const graph::VertexId> clique) {
+    writer.append(clique);
+  });
+  writer.close();
+  build_clique_index(a.gsbc, a.gsbci);
+  return a;
+}
+
+GraphSpec spec_for(const Artifacts& a, bool with_index = true) {
+  GraphSpec spec;
+  spec.graph_path = a.gsbg;
+  spec.cliques_path = a.gsbc;
+  spec.probe_index = with_index;
+  return spec;
+}
+
+/// A mixed workload touching every query kind (plus deliberate errors).
+std::vector<std::string> mixed_workload(const graph::Graph& g) {
+  std::vector<std::string> lines;
+  const auto n = static_cast<graph::VertexId>(g.order());
+  for (graph::VertexId v = 0; v < n; v += 3) {
+    lines.push_back("neighbors " + std::to_string(v));
+    lines.push_back("degree " + std::to_string(v));
+    lines.push_back("cliques-containing " + std::to_string(v));
+    lines.push_back("kcore-membership 3 " + std::to_string(v));
+    if (v + 1 < n) {
+      lines.push_back("common-neighbors " + std::to_string(v + 1) + " " +
+                      std::to_string(v));
+      lines.push_back("induced-subgraph " + std::to_string(v) + " " +
+                      std::to_string(v + 1) + " " + std::to_string((v + 7) % n));
+    }
+  }
+  lines.push_back("top-hubs 5");
+  lines.push_back("neighbors " + std::to_string(n));  // out of range
+  lines.push_back("no-such-query 1");                 // parse error
+  lines.push_back("degree 0");                        // repeat -> cache hit
+  lines.push_back("degree 0");
+  return lines;
+}
+
+TEST(Query, ParsesAndCanonicalizes) {
+  EXPECT_EQ(canonical_query(parse_query("  common-neighbors 9   2 ")),
+            "common-neighbors 2 9");
+  EXPECT_EQ(canonical_query(parse_query("induced-subgraph 7 3 3 1")),
+            "induced-subgraph 1 3 7");
+  EXPECT_EQ(canonical_query(parse_query("paraclique-expand 2 5 1 5")),
+            "paraclique-expand 2 1 5");
+  EXPECT_EQ(canonical_query(parse_query("kcore-membership 4 11")),
+            "kcore-membership 4 11");
+  EXPECT_EQ(canonical_query(parse_query("top-hubs 10")), "top-hubs 10");
+  EXPECT_THROW(parse_query(""), std::runtime_error);
+  EXPECT_THROW(parse_query("degree"), std::runtime_error);
+  EXPECT_THROW(parse_query("degree 1 2"), std::runtime_error);
+  EXPECT_THROW(parse_query("degree -3"), std::runtime_error);
+  EXPECT_THROW(parse_query("common-neighbors 4 4"), std::runtime_error);
+  EXPECT_THROW(parse_query("top-hubs 0"), std::runtime_error);
+  EXPECT_THROW(parse_query("frobnicate 1"), std::runtime_error);
+}
+
+TEST(QueryEngine, AnswersMatchDirectComputation) {
+  const auto a = make_artifacts(40, 0.3, 7, "service_direct");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  QueryEngine engine(entry);
+
+  const graph::GraphView g(a.graph);
+  std::string expected = "neighbors 5:";
+  for (const graph::VertexId w : g.neighbor_list(5)) {
+    expected += ' ' + std::to_string(w);
+  }
+  EXPECT_EQ(engine.execute_line("neighbors 5"), expected);
+  EXPECT_EQ(engine.execute_line("degree 5"),
+            "degree 5: " + std::to_string(g.degree(5)));
+
+  std::string common = "common-neighbors 2 9:";
+  for (const graph::VertexId w : g.neighbor_list(2)) {
+    if (g.has_edge(9, w)) common += ' ' + std::to_string(w);
+  }
+  EXPECT_EQ(engine.execute_line("common-neighbors 9 2"), common);
+
+  const auto mask = graph::kcore_mask(g, 3);
+  EXPECT_EQ(engine.execute_line("kcore-membership 3 5"),
+            std::string("kcore-membership 3 5: ") + (mask.test(5) ? "1" : "0"));
+
+  const auto hubs = analysis::top_hubs(
+      g, analysis::vertex_participation(
+             g.order(),
+             [&] {
+               core::CliqueCollector collector;
+               core::degeneracy_bk(g, collector.callback());
+               return collector.cliques();
+             }()),
+      3);
+  std::string hub_line = "top-hubs 3:";
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    hub_line += i == 0 ? " " : "; ";
+    hub_line += std::to_string(hubs[i].vertex) +
+                " deg=" + std::to_string(hubs[i].degree) +
+                " cliques=" + std::to_string(hubs[i].clique_participation);
+  }
+  EXPECT_EQ(engine.execute_line("top-hubs 3"), hub_line);
+
+  // Errors are responses, not exceptions.
+  const auto bad = engine.execute_line("degree 4096");
+  EXPECT_TRUE(bad.starts_with("error:")) << bad;
+  EXPECT_TRUE(engine.execute_line("bogus").starts_with("error:"));
+}
+
+TEST(QueryEngine, ParacliqueExpandMatchesAnalysis) {
+  const auto a = make_artifacts(36, 0.35, 11, "service_para");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  QueryEngine engine(entry);
+  const graph::GraphView g(a.graph);
+
+  // Seed with a real clique (the largest streamed one).
+  core::CliqueCollector collector;
+  core::degeneracy_bk(g, collector.callback());
+  core::Clique best;
+  for (const auto& clique : collector.cliques()) {
+    if (clique.size() > best.size()) best = clique;
+  }
+  ASSERT_GE(best.size(), 2u);
+
+  analysis::ParacliqueOptions options;
+  options.glom = 1;
+  const auto grown = analysis::grow_paraclique(g, best, options);
+  std::string line = "paraclique-expand 1";
+  for (const graph::VertexId v : best) line += ' ' + std::to_string(v);
+  std::string expected = canonical_query(parse_query(line)) + ":";
+  for (const graph::VertexId v : grown.members) {
+    expected += ' ' + std::to_string(v);
+  }
+  EXPECT_EQ(engine.execute_line(line), expected);
+
+  // A non-clique seed is rejected deterministically.
+  graph::VertexId u = 0;
+  graph::VertexId w = 1;
+  bool found = false;
+  for (u = 0; u < g.order() && !found; ++u) {
+    for (w = u + 1; w < g.order(); ++w) {
+      if (!g.has_edge(u, w)) {
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  --u;  // undo the loop increment after `found`
+  const auto bad = engine.execute_line("paraclique-expand 1 " +
+                                       std::to_string(u) + " " +
+                                       std::to_string(w));
+  EXPECT_TRUE(bad.starts_with("error:")) << bad;
+}
+
+TEST(CliqueIndex, IndexedEqualsRescanOn20SeededGraphs) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto a = make_artifacts(26 + seed, 0.35, seed,
+                                  "service_idx_" + std::to_string(seed));
+    GraphCatalog catalog;
+    auto indexed = catalog.open("indexed", spec_for(a, true));
+    auto rescan = catalog.open("rescan", spec_for(a, false));
+    ASSERT_NE(indexed->index(), nullptr);
+    ASSERT_EQ(rescan->index(), nullptr);
+    QueryEngine indexed_engine(indexed);
+    QueryEngine rescan_engine(rescan);
+    for (graph::VertexId v = 0; v < a.graph.order(); ++v) {
+      const std::string line = "cliques-containing " + std::to_string(v);
+      EXPECT_EQ(indexed_engine.execute_line(line),
+                rescan_engine.execute_line(line))
+          << "seed " << seed << " vertex " << v;
+    }
+    EXPECT_EQ(indexed_engine.stats().index_queries, a.graph.order());
+    EXPECT_EQ(indexed_engine.stats().stream_scans, 0u);
+    EXPECT_EQ(rescan_engine.stats().stream_scans, a.graph.order());
+  }
+}
+
+TEST(CliqueIndex, AnswersWithoutScanningTheFullStream) {
+  const auto a = make_artifacts(60, 0.3, 3, "service_noscan");
+  auto reader = storage::GsbcReader::open(a.gsbc);
+  const std::uint64_t total = reader.clique_count();
+  ASSERT_GT(total, 10u);
+
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  const CliqueIndex* index = entry->index();
+  ASSERT_NE(index, nullptr);
+
+  // Pick a vertex that is in some cliques but far from all of them.
+  graph::VertexId v = 0;
+  for (; v < a.graph.order(); ++v) {
+    const auto count = index->participation(v);
+    if (count > 0 && count < total / 2) break;
+  }
+  ASSERT_LT(v, a.graph.order());
+
+  QueryEngine engine(entry);
+  const auto response =
+      engine.execute_line("cliques-containing " + std::to_string(v));
+  EXPECT_TRUE(response.starts_with("cliques-containing")) << response;
+  // Exactly the posting list was decoded — not the remainder of the stream.
+  EXPECT_EQ(engine.stats().records_decoded, index->participation(v));
+  EXPECT_LT(engine.stats().records_decoded, total);
+  EXPECT_EQ(engine.stats().index_queries, 1u);
+  EXPECT_EQ(engine.stats().stream_scans, 0u);
+
+  // Participation shortcut: posting lengths == one full stream count.
+  auto scan = storage::GsbcReader::open(a.gsbc);
+  const auto expected =
+      analysis::vertex_participation(a.graph.order(), scan);
+  for (graph::VertexId u = 0; u < a.graph.order(); ++u) {
+    EXPECT_EQ(index->participation(u), expected[u]) << "vertex " << u;
+  }
+}
+
+TEST(CliqueIndex, RejectsCorruptionAndStaleness) {
+  const auto a = make_artifacts(30, 0.3, 5, "service_idxbad");
+
+  // Truncation: the exact-size check fails loudly.
+  const auto bytes = fs::file_size(a.gsbci);
+  fs::resize_file(a.gsbci, bytes - 8);
+  EXPECT_THROW(CliqueIndex::open(a.gsbci), std::runtime_error);
+
+  // A flipped payload byte — even one leaving every array structurally
+  // plausible — is caught by the always-on checksum pass.
+  build_clique_index(a.gsbc, a.gsbci);
+  {
+    std::fstream f(a.gsbci, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(bytes - 3));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(bytes - 3));
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(CliqueIndex::open(a.gsbci), std::runtime_error);
+
+  // Header counts near 2^64/8 must not wrap the expected-size arithmetic
+  // into an accepted (and then out-of-bounds) mapping.
+  {
+    const std::string crafted = (fs::temp_directory_path() /
+                                 "service_idx_crafted.gsbci")
+                                    .string();
+    std::ofstream f(crafted, std::ios::binary | std::ios::trunc);
+    char raw[storage::kGsbciHeaderBytes] = {};
+    std::memcpy(raw, storage::kGsbciMagic, sizeof(storage::kGsbciMagic));
+    const std::uint32_t version = storage::kGsbciVersion;
+    std::memcpy(raw + 8, &version, 4);
+    const std::uint64_t huge = (1ull << 61) - 1;  // 8*(huge+0+1+0) wraps to 0
+    std::memcpy(raw + 24, &huge, 8);
+    const std::uint64_t empty_checksum = storage::Fnv1a{}.digest();
+    std::memcpy(raw + 48, &empty_checksum, 8);
+    f.write(raw, sizeof(raw));
+    f.close();
+    EXPECT_THROW(CliqueIndex::open(crafted), std::runtime_error);
+    std::remove(crafted.c_str());
+  }
+
+  // Stale sidecar: stream rewritten, old index kept -> catalog refuses.
+  build_clique_index(a.gsbc, a.gsbci);
+  {
+    storage::GsbcWriter writer(a.gsbc, a.graph.order());
+    writer.append(std::vector<graph::VertexId>{0, 1});
+    writer.close();
+  }
+  GraphCatalog catalog;
+  EXPECT_THROW(catalog.open("g", spec_for(a)), std::runtime_error);
+  // Without the sidecar the rewritten stream is fine.
+  auto entry = catalog.open("g", spec_for(a, false));
+  EXPECT_EQ(entry->index(), nullptr);
+}
+
+TEST(Batch, CacheOnOffAndThreadCountsAreByteIdentical) {
+  const auto a = make_artifacts(48, 0.3, 13, "service_batch");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  const auto lines = mixed_workload(a.graph);
+
+  BatchOptions sequential;
+  sequential.threads = 1;
+  const auto reference = execute_batch(entry, lines, sequential);
+  ASSERT_EQ(reference.responses.size(), lines.size());
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    BatchOptions options;
+    options.threads = threads;
+    const auto concurrent = execute_batch(entry, lines, options);
+    EXPECT_EQ(concurrent.responses, reference.responses)
+        << "threads " << threads;
+
+    ResultCache cache(8u << 20);
+    options.cache = &cache;
+    const auto cold = execute_batch(entry, lines, options);
+    EXPECT_EQ(cold.responses, reference.responses)
+        << "cold cache, threads " << threads;
+    const auto warm = execute_batch(entry, lines, options);
+    EXPECT_EQ(warm.responses, reference.responses)
+        << "warm cache, threads " << threads;
+    // Second pass: every successful query replays from the cache.
+    EXPECT_GT(warm.cache_hits, 0u);
+    EXPECT_EQ(warm.engine.index_queries, 0u);
+    EXPECT_EQ(warm.engine.stream_scans, 0u);
+  }
+}
+
+TEST(ResultCache, LruEvictionRespectsByteBudget) {
+  util::MemoryTracker tracker;
+  const std::size_t budget = 4096;
+  ResultCache cache(budget, &tracker);
+  const std::string value(200, 'x');
+  for (int i = 0; i < 200; ++i) {
+    cache.insert(1, "query " + std::to_string(i), value);
+    EXPECT_LE(cache.stats().bytes, budget);
+    EXPECT_EQ(tracker.current(util::MemTag::kResultCache),
+              cache.stats().bytes);
+  }
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_LE(stats.bytes, budget);
+  // Oldest entries evicted, newest resident.
+  EXPECT_FALSE(cache.lookup(1, "query 0").has_value());
+  EXPECT_TRUE(cache.lookup(1, "query 199").has_value());
+
+  // Recency refresh: touching an old entry saves it from eviction.
+  ResultCache lru(3 * (ResultCache::kEntryOverhead + 16 + 64));
+  const std::string small(64, 'y');
+  lru.insert(1, "a", small);
+  lru.insert(1, "b", small);
+  lru.insert(1, "c", small);
+  ASSERT_TRUE(lru.lookup(1, "a").has_value());  // refresh a
+  lru.insert(1, "d", small);                    // evicts b, not a
+  EXPECT_TRUE(lru.lookup(1, "a").has_value());
+  EXPECT_FALSE(lru.lookup(1, "b").has_value());
+
+  // An entry bigger than the whole budget is not cached at all.
+  ResultCache tiny(128, &tracker);
+  tiny.insert(1, "huge", std::string(4096, 'z'));
+  EXPECT_EQ(tiny.stats().entries, 0u);
+  EXPECT_FALSE(tiny.lookup(1, "huge").has_value());
+}
+
+TEST(ResultCache, EpochsIsolateReloadedGraphs) {
+  ResultCache cache(1u << 20);
+  cache.insert(7, "degree 1", "degree 1: 3");
+  EXPECT_TRUE(cache.lookup(7, "degree 1").has_value());
+  EXPECT_FALSE(cache.lookup(8, "degree 1").has_value());
+}
+
+TEST(GraphCatalog, NamesEpochsAndRefCounts) {
+  const auto a = make_artifacts(24, 0.3, 17, "service_catalog");
+  GraphCatalog catalog;
+  auto first = catalog.open("g", spec_for(a));
+  EXPECT_EQ(catalog.names(), std::vector<std::string>{"g"});
+  EXPECT_EQ(catalog.external_refs("g"), 1u);
+  {
+    auto handle = catalog.get("g");
+    EXPECT_EQ(handle.get(), first.get());
+    EXPECT_EQ(catalog.external_refs("g"), 2u);
+  }
+  EXPECT_EQ(catalog.external_refs("g"), 1u);
+
+  // Reopening bumps the epoch; the old handle stays valid and answers.
+  auto second = catalog.open("g", spec_for(a));
+  EXPECT_GT(second->epoch(), first->epoch());
+  EXPECT_NE(second.get(), first.get());
+  QueryEngine old_engine(first);
+  EXPECT_TRUE(old_engine.execute_line("degree 0").starts_with("degree 0:"));
+
+  EXPECT_TRUE(catalog.close("g"));
+  EXPECT_FALSE(catalog.close("g"));
+  EXPECT_TRUE(catalog.names().empty());
+  // Entries owned only by handles still serve queries.
+  QueryEngine engine(second);
+  EXPECT_TRUE(engine.execute_line("degree 0").starts_with("degree 0:"));
+
+  // Mismatched artifacts are rejected whole.
+  const auto b = make_artifacts(25, 0.3, 18, "service_catalog_b");
+  GraphSpec bad = spec_for(a);
+  bad.cliques_path = b.gsbc;  // universe 25 != graph order 24
+  EXPECT_THROW(catalog.open("bad", bad), std::runtime_error);
+}
+
+TEST(Serve, StreamSessionIsByteReproducibleAcrossThreadCounts) {
+  const auto a = make_artifacts(40, 0.3, 23, "service_stream");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+
+  std::string script;
+  script += "ping\n";
+  for (const auto& line : mixed_workload(a.graph)) script += line + '\n';
+  script += "shutdown\n";
+  script += "degree 1\n";  // after shutdown: still answered (drain), then stop
+
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    std::istringstream in(script);
+    std::ostringstream out;
+    ServeOptions options;
+    options.threads = threads;
+    const auto stats = serve_stream(entry, in, out, options);
+    EXPECT_TRUE(stats.shutdown_requested);
+    EXPECT_GT(stats.requests, 0u);
+    if (threads == 1) {
+      reference = out.str();
+      EXPECT_NE(reference.find("ok pong\n"), std::string::npos);
+      EXPECT_NE(reference.find("ok shutdown\n"), std::string::npos);
+    } else {
+      EXPECT_EQ(out.str(), reference) << "threads " << threads;
+    }
+  }
+}
+
+#if GSB_TEST_UNIX_SOCKETS
+TEST(Serve, UnixSocketSessionAnswersAndShutsDown) {
+  const auto a = make_artifacts(32, 0.3, 29, "service_socket");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  const std::string socket_path = temp_path("service_socket.sock");
+  std::remove(socket_path.c_str());
+
+  ServeOptions options;
+  options.threads = 2;
+  ServeStats stats;
+  std::thread server([&] {
+    stats = serve_unix_socket(entry, socket_path, options);
+  });
+
+  // Connect (retrying while the server binds), run one session.
+  int fd = -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path.c_str());
+  auto connect_client = [&]() -> int {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      const int client = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (client < 0) return -1;
+      if (::connect(client, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        return client;
+      }
+      ::close(client);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return -1;
+  };
+
+  // First connection: a final request with no trailing newline, delivered
+  // by half-closing the write side — it must still be answered.
+  const int eof_fd = connect_client();
+  ASSERT_GE(eof_fd, 0) << "could not connect to " << socket_path;
+  const std::string unterminated = "degree 3";
+  ASSERT_EQ(::write(eof_fd, unterminated.data(), unterminated.size()),
+            static_cast<ssize_t>(unterminated.size()));
+  ::shutdown(eof_fd, SHUT_WR);
+  std::string eof_response;
+  char eof_chunk[256];
+  while (true) {
+    const ssize_t n = ::read(eof_fd, eof_chunk, sizeof(eof_chunk));
+    if (n <= 0) break;
+    eof_response.append(eof_chunk, static_cast<std::size_t>(n));
+  }
+  ::close(eof_fd);
+
+  fd = connect_client();
+  ASSERT_GE(fd, 0) << "could not connect to " << socket_path;
+
+  // A query pipelined *after* shutdown in the same write must still be
+  // answered before the connection closes (drain-then-stop, matching the
+  // stream transport).
+  const std::string request = "ping\ndegree 3\nneighbors 3\nshutdown\ndegree 5\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[512];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+
+  QueryEngine reference(entry);
+  EXPECT_EQ(eof_response, reference.execute_line("degree 3") + "\n");
+  EXPECT_EQ(response, "ok pong\n" + reference.execute_line("degree 3") +
+                          "\n" + reference.execute_line("neighbors 3") +
+                          "\nok shutdown\n" +
+                          reference.execute_line("degree 5") + "\n");
+  EXPECT_TRUE(stats.shutdown_requested);
+  EXPECT_EQ(stats.connections, 2u);
+  EXPECT_EQ(stats.requests, 6u);
+}
+#endif  // GSB_TEST_UNIX_SOCKETS
+
+}  // namespace
+}  // namespace gsb::service

@@ -258,6 +258,18 @@ TEST(Cli, BooleanSpellings) {
   EXPECT_TRUE(cli.get_bool("d", false));
 }
 
+TEST(Cli, DoubleDashEndsFlagParsing) {
+  // Everything after `--` is positional, so a boolean flag can precede a
+  // positional that would otherwise be swallowed as its value.
+  const char* argv[] = {"prog", "--stats", "--", "degree 5", "--not-a-flag"};
+  Cli cli(5, argv);
+  EXPECT_TRUE(cli.get_bool("stats", false));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "degree 5");
+  EXPECT_EQ(cli.positional()[1], "--not-a-flag");
+  EXPECT_FALSE(cli.has("not-a-flag"));
+}
+
 TEST(Timer, MeasuresElapsed) {
   Timer timer;
   volatile double sink = 0;
