@@ -7,7 +7,12 @@
 //     the result cache off, cold (cleared per iteration), and warm
 //     (pre-warmed once) — queries/sec reads off the items counter;
 //   * `cliques-containing` through the `.gsbci` index vs a full `.gsbc`
-//     rescan — the random-access win the sidecar exists for.
+//     rescan — the random-access win the sidecar exists for;
+//   * (Linux) a closed-loop TCP load generator against the epoll serving
+//     layer: N client connections keep a pipeline of D binary-protocol
+//     requests in flight each, per-request latency is measured send-to-
+//     response, and p50_us/p99_us land in the JSON counters alongside
+//     items/sec (saturation throughput at the widest configuration).
 //
 // The fixture is the same planted-module shape the clique benches use: a
 // mapped .gsbg, its enumerated .gsbc stream, and the .gsbci sidecar, all
@@ -15,19 +20,27 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/bron_kerbosch.h"
 #include "graph/generators.h"
 #include "service/batch_executor.h"
+#include "service/client.h"
 #include "service/clique_index.h"
 #include "service/graph_catalog.h"
 #include "service/query_engine.h"
 #include "service/result_cache.h"
+#include "service/tcp_server.h"
 #include "storage/clique_stream.h"
 #include "storage/gsbg_writer.h"
 #include "util/rng.h"
@@ -194,6 +207,115 @@ void BM_CliquesContainingRescan(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(queries));
 }
 BENCHMARK(BM_CliquesContainingRescan)->Unit(benchmark::kMicrosecond);
+
+#if defined(__linux__)
+
+// Closed-loop TCP load generator.  Each benchmark run binds a fresh
+// TcpServer on an ephemeral loopback port; every iteration spawns
+// `clients` connections that each keep up to `depth` binary-protocol
+// requests in flight (send one new request per response received) until
+// a fixed quota completes.  Latency is measured per request from the
+// send() that enqueued it to the receive() that matched its id, so
+// queueing delay under pipelining is included — that is the number a
+// caller actually observes.
+struct TcpBench {
+  service::ResultCache cache{64u << 20};
+  std::optional<service::TcpServer> server;
+  std::thread thread;
+
+  explicit TcpBench(std::size_t threads) {
+    service::TcpServerOptions options;
+    options.threads = threads;
+    options.cache = &cache;
+    server.emplace(fixture().indexed, "127.0.0.1:0", options);
+    thread = std::thread([this] { server->serve(); });
+  }
+  ~TcpBench() {
+    try {
+      auto client = service::ServiceClient::connect_tcp(address());
+      client.request("shutdown");
+    } catch (...) {
+    }
+    if (thread.joinable()) thread.join();
+  }
+  std::string address() const {
+    return "127.0.0.1:" + std::to_string(server->port());
+  }
+};
+
+double percentile_us(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void BM_TcpClosedLoop(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  const auto depth = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kRequestsPerClient = 256;
+  TcpBench bench(/*threads=*/4);
+  auto& workload = fixture().workload;
+
+  std::mutex latencies_mutex;
+  std::vector<double> latencies_us;
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        using Clock = std::chrono::steady_clock;
+        auto client = service::ServiceClient::connect_tcp(bench.address());
+        std::unordered_map<std::uint64_t, Clock::time_point> sent_at;
+        std::vector<double> local;
+        local.reserve(kRequestsPerClient);
+        std::size_t issued = 0;
+        const auto issue = [&] {
+          const std::string& line =
+              workload[(issued * clients + c) % workload.size()];
+          sent_at.emplace(client.send(line), Clock::now());
+          ++issued;
+        };
+        while (issued < std::min(depth, kRequestsPerClient)) issue();
+        client.flush();
+        for (std::size_t received = 0; received < kRequestsPerClient;
+             ++received) {
+          const auto response = client.receive();
+          const auto it = sent_at.find(response.id);
+          local.push_back(std::chrono::duration<double, std::micro>(
+                              Clock::now() - it->second)
+                              .count());
+          sent_at.erase(it);
+          if (issued < kRequestsPerClient) {
+            issue();
+            client.flush();
+          }
+        }
+        const std::lock_guard<std::mutex> lock(latencies_mutex);
+        latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    completed += clients * kRequestsPerClient;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  std::sort(latencies_us.begin(), latencies_us.end());
+  state.counters["p50_us"] = percentile_us(latencies_us, 0.50);
+  state.counters["p99_us"] = percentile_us(latencies_us, 0.99);
+}
+// {clients, pipeline depth}: a single sequential caller, a small
+// pipelined pool, and a wide configuration that saturates the four
+// worker threads — its items/sec is the saturation throughput.
+BENCHMARK(BM_TcpClosedLoop)
+    ->Args({1, 1})
+    ->Args({2, 4})
+    ->Args({4, 8})
+    ->Args({8, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+#endif  // defined(__linux__)
 
 }  // namespace
 

@@ -61,10 +61,12 @@
 #include "graph/io.h"
 #include "graph/transforms.h"
 #include "service/batch_executor.h"
+#include "service/client.h"
 #include "service/clique_index.h"
 #include "service/graph_catalog.h"
 #include "service/result_cache.h"
 #include "service/server.h"
+#include "service/tcp_server.h"
 #include "storage/clique_stream.h"
 #include "storage/gsbg_writer.h"
 #include "storage/mapped_graph.h"
@@ -95,7 +97,7 @@ commands:
   info       describe a graph file (.gsbg: header, sections, integrity)
   index      build the .gsbci random-access sidecar for a .gsbc stream
   query      answer graph/clique queries against resident artifacts
-  serve      long-lived query loop (stdin or a Unix-domain socket)
+  serve      long-lived query loop (stdin, a Unix-domain socket, or TCP)
   help       this text
 
 graph inputs: DIMACS (.clq/.dimacs), edge list, legacy binary (.bin), or
@@ -140,9 +142,11 @@ index flags:   <file.gsbc> [--out FILE.gsbci]
 query flags:   --graph-file FILE ['QUERY' | --batch FILE|-] [--cliques F.gsbc]
                [--index F.gsbci] [--no-index] [--format F] [--threads P]
                [--cache] [--cache-bytes N] [--stats]
+               remote: --connect HOST:PORT|SOCKET ['QUERY' | --batch FILE|-]
+               [--binary]   (pipelined against a running gsb serve)
 serve flags:   --graph-file FILE [--cliques F.gsbc] [--index F.gsbci]
-               [--no-index] [--format F] [--socket PATH] [--threads P]
-               [--cache] [--cache-bytes N]
+               [--no-index] [--format F] [--socket PATH | --tcp HOST:PORT]
+               [--threads P] [--cache] [--cache-bytes N] [--inflight-bytes N]
 
 Every flag can also be set through the environment as GSB_<NAME>.
 Full reference with worked examples: docs/CLI.md; the query grammar and
@@ -896,15 +900,19 @@ int cmd_index(const util::Cli& cli) {
 /// (mmap'd for .gsbg), the optional clique stream, and — unless --no-index
 /// — the `.gsbci` sidecar (explicit via --index, else probed next to the
 /// stream).
-std::shared_ptr<service::GraphEntry> open_service_entry(
-    const util::Cli& cli, service::GraphCatalog& catalog) {
+service::GraphSpec service_spec(const util::Cli& cli) {
   service::GraphSpec spec;
   spec.graph_path = cli.get("graph-file", "");
   spec.format = cli.get("format", "");
   spec.cliques_path = cli.get("cliques", "");
   spec.index_path = cli.get("index", "");
   spec.probe_index = !cli.get_bool("no-index", false);
-  auto entry = catalog.open("default", spec);
+  return spec;
+}
+
+std::shared_ptr<service::GraphEntry> open_service_entry(
+    const util::Cli& cli, service::GraphCatalog& catalog) {
+  auto entry = catalog.open("default", service_spec(cli));
   std::fprintf(stderr, "graph: %zu vertices, %zu edges%s%s\n", entry->order(),
                entry->view().num_edges(),
                entry->has_cliques() ? ", clique stream attached" : "",
@@ -912,16 +920,53 @@ std::shared_ptr<service::GraphEntry> open_service_entry(
   return entry;
 }
 
+/// Runs the query batch against a remote `gsb serve` instead of local
+/// artifacts: `--connect HOST:PORT` (TCP) or `--connect /path.sock` (Unix
+/// socket), pipelining every request on one connection.  `--binary`
+/// switches the wire format; the response bytes are identical either way.
+int run_remote_query(const std::string& target, bool binary,
+                     const std::vector<std::string>& lines) {
+  std::vector<std::string> requests;
+  for (const std::string& line : lines) {
+    // Blank lines are keep-alives with no response; sending one through a
+    // pipelined call would wait forever for a reply that never comes.
+    if (line.find_first_not_of(" \t\r\n") != std::string::npos) {
+      requests.push_back(line);
+    }
+  }
+  auto client = target.find('/') != std::string::npos
+                    ? service::ServiceClient::connect_unix(target)
+                    : service::ServiceClient::connect_tcp(target);
+  std::vector<std::string> responses;
+  if (binary) {
+    for (auto& response : client.call_pipelined(requests)) {
+      responses.push_back(std::move(response.payload));
+    }
+  } else {
+    responses = client.request_pipelined(requests);
+  }
+  std::size_t errors = 0;
+  for (const std::string& response : responses) {
+    if (response.rfind("error:", 0) == 0) ++errors;
+    std::printf("%s\n", response.c_str());
+  }
+  const bool all_errors = !responses.empty() && errors == responses.size();
+  return all_errors ? 1 : 0;
+}
+
 int cmd_query(const util::Cli& cli) {
   const std::string batch_path = cli.get("batch", "");
-  if (cli.get("graph-file", "").empty() ||
+  const std::string connect_target = cli.get("connect", "");
+  if ((connect_target.empty() && cli.get("graph-file", "").empty()) ||
       (batch_path.empty() && cli.positional().size() < 2)) {
     std::fprintf(
         stderr,
         "usage: gsb query --graph-file FILE ['QUERY' ... | --batch FILE|-]\n"
         "           [--cliques F.gsbc] [--index F.gsbci] [--no-index]\n"
         "           [--format F] [--threads P] [--cache] [--cache-bytes N]\n"
-        "           [--stats]     (grammar: docs/SERVICE.md)\n");
+        "           [--stats]     (grammar: docs/SERVICE.md)\n"
+        "   or: gsb query --connect HOST:PORT|SOCKET [--binary]\n"
+        "           ['QUERY' ... | --batch FILE|-]\n");
     return 2;
   }
   const auto threads = size_flag(cli, "threads", 0);
@@ -944,6 +989,12 @@ int cmd_query(const util::Cli& cli) {
     }
     std::string line;
     while (std::getline(in, line)) lines.push_back(line);
+  }
+
+  if (!connect_target.empty()) {
+    const bool binary = cli.get_bool("binary", false);
+    warn_unqueried(cli);
+    return run_remote_query(connect_target, binary, lines);
   }
 
   service::GraphCatalog catalog;
@@ -1003,16 +1054,23 @@ int cmd_serve(const util::Cli& cli) {
         stderr,
         "usage: gsb serve --graph-file FILE [--cliques F.gsbc]\n"
         "           [--index F.gsbci] [--no-index] [--format F]\n"
-        "           [--socket PATH] [--threads P] [--cache] "
-        "[--cache-bytes N]\n");
+        "           [--socket PATH | --tcp HOST:PORT] [--threads P]\n"
+        "           [--cache] [--cache-bytes N] [--inflight-bytes N]\n");
     return 2;
   }
   const auto threads = size_flag(cli, "threads", 0);
   const bool use_cache = cli.get_bool("cache", false);
   const auto cache_bytes = size_flag(cli, "cache-bytes", 64 << 20);
   const std::string socket_path = cli.get("socket", "");
+  const std::string tcp_address = cli.get("tcp", "");
+  const auto inflight_bytes = size_flag(cli, "inflight-bytes", 4 << 20);
+  if (!socket_path.empty() && !tcp_address.empty()) {
+    std::fprintf(stderr, "error: --socket and --tcp are exclusive\n");
+    return 2;
+  }
 
   service::GraphCatalog catalog;
+  const service::GraphSpec spec = service_spec(cli);
   auto entry = open_service_entry(cli, catalog);
   warn_unqueried(cli);
 
@@ -1034,6 +1092,41 @@ int cmd_serve(const util::Cli& cli) {
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);
 #endif
+
+  if (!tcp_address.empty()) {
+    service::TcpServerOptions tcp_options;
+    tcp_options.threads = threads;
+    tcp_options.cache = cache ? &*cache : nullptr;
+    tcp_options.stop = &g_serve_stop;
+    tcp_options.max_inflight_bytes = inflight_bytes;
+    // `reload` control request: re-open the same artifact spec under a
+    // fresh epoch and swap it in under live traffic.
+    tcp_options.reload = [&catalog, spec] {
+      return catalog.open("default", spec);
+    };
+    service::TcpServer server(entry, tcp_address, tcp_options);
+    std::fprintf(stderr, "serving on tcp %s (port %u)\n", tcp_address.c_str(),
+                 static_cast<unsigned>(server.port()));
+    const auto tcp_stats = server.serve();
+    std::fprintf(
+        stderr,
+        "served %llu requests (%llu connections); engine: %llu queries, "
+        "%llu errors; cache %llu/%llu hits; busy %llu, reloads %llu, "
+        "protocol errors %llu%s\n",
+        static_cast<unsigned long long>(tcp_stats.requests),
+        static_cast<unsigned long long>(tcp_stats.connections),
+        static_cast<unsigned long long>(tcp_stats.engine.executed),
+        static_cast<unsigned long long>(tcp_stats.engine.errors),
+        static_cast<unsigned long long>(tcp_stats.cache_hits),
+        static_cast<unsigned long long>(tcp_stats.cache_hits +
+                                        tcp_stats.cache_misses),
+        static_cast<unsigned long long>(tcp_stats.busy_rejections),
+        static_cast<unsigned long long>(tcp_stats.reloads),
+        static_cast<unsigned long long>(tcp_stats.protocol_errors),
+        tcp_stats.shutdown_requested ? " (client shutdown)" : "");
+    print_memory_summary("");
+    return 0;
+  }
 
   service::ServeStats stats;
   if (socket_path.empty()) {

@@ -1,0 +1,335 @@
+#include "service/client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GSB_HAVE_CLIENT_SOCKETS 1
+#include <fcntl.h>
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // macOS: SO_NOSIGPIPE is set on the socket instead
+#endif
+#endif
+
+namespace gsb::service {
+
+#if GSB_HAVE_CLIENT_SOCKETS
+
+namespace {
+
+constexpr std::size_t kIoChunk = 64 * 1024;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nosigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
+}  // namespace
+
+ServiceClient ServiceClient::connect_tcp(const std::string& host_port) {
+  const auto colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon + 1 == host_port.size()) {
+    throw std::runtime_error("client: expected HOST:PORT, got '" +
+                             host_port + "'");
+  }
+  const std::string host = host_port.substr(0, colon);
+  const std::string service = host_port.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* found = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                               service.c_str(), &hints, &found);
+  if (rc != 0) {
+    throw std::runtime_error("client: cannot resolve '" + host_port +
+                             "': " + gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string error = "no usable address";
+  for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      error = "socket() failed";
+      continue;
+    }
+    int connected;
+    do {
+      connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (connected != 0 && errno == EINTR);
+    if (connected == 0) break;
+    error = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(found);
+  if (fd < 0) {
+    throw std::runtime_error("client: cannot connect to '" + host_port +
+                             "': " + error);
+  }
+  set_nosigpipe(fd);
+  set_nonblocking(fd);
+  return ServiceClient(fd);
+}
+
+ServiceClient ServiceClient::connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("client: socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("client: socket() failed");
+  int connected;
+  do {
+    connected = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr));
+  } while (connected != 0 && errno == EINTR);
+  if (connected != 0) {
+    ::close(fd);
+    throw std::runtime_error("client: cannot connect to '" + socket_path +
+                             "'");
+  }
+  set_nosigpipe(fd);
+  set_nonblocking(fd);
+  return ServiceClient(fd);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), out_(std::move(other.out_)),
+      in_(std::move(other.in_)), next_id_(other.next_id_) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    out_ = std::move(other.out_);
+    in_ = std::move(other.in_);
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServiceClient::finish_sending() {
+  flush();
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+/// Drives the socket until \p done (which may consume from in_) returns
+/// true: sends pending bytes and receives available bytes, interleaved
+/// through poll so neither direction can wedge the other.
+template <typename DonePredicate>
+void ServiceClient::transfer(const DonePredicate& done) {
+  if (fd_ < 0) throw std::runtime_error("client: connection is closed");
+  while (!done()) {
+    pollfd poller{};
+    poller.fd = fd_;
+    poller.events = POLLIN;
+    if (!out_.empty()) poller.events |= POLLOUT;
+    const int ready = ::poll(&poller, 1, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("client: poll failed");
+    }
+    if (!out_.empty() && (poller.revents & POLLOUT) != 0) {
+      const std::size_t chunk = std::min(out_.size(), kIoChunk);
+      const ssize_t n = ::send(fd_, out_.data(), chunk, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+          throw std::runtime_error("client: connection lost while sending");
+        }
+      } else {
+        out_.erase(0, static_cast<std::size_t>(n));
+      }
+    }
+    if ((poller.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      char buf[kIoChunk];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+          throw std::runtime_error("client: connection lost while receiving");
+        }
+      } else if (n == 0) {
+        if (done()) return;
+        throw std::runtime_error(
+            "client: server closed the connection mid-response");
+      } else {
+        in_.append(buf, static_cast<std::size_t>(n));
+      }
+    }
+  }
+}
+
+// --- line protocol ----------------------------------------------------------
+
+std::string ServiceClient::request(const std::string& line) {
+  return request_pipelined({line}).front();
+}
+
+std::vector<std::string> ServiceClient::request_pipelined(
+    const std::vector<std::string>& lines) {
+  for (const std::string& line : lines) {
+    out_.append(line);
+    out_.push_back('\n');
+  }
+  std::vector<std::string> responses;
+  responses.reserve(lines.size());
+  transfer([&] {
+    std::size_t start = 0;
+    for (std::size_t nl = in_.find('\n');
+         nl != std::string::npos && responses.size() < lines.size();
+         nl = in_.find('\n', start)) {
+      responses.push_back(in_.substr(start, nl - start));
+      start = nl + 1;
+    }
+    if (start > 0) in_.erase(0, start);
+    return responses.size() == lines.size();
+  });
+  return responses;
+}
+
+// --- binary protocol --------------------------------------------------------
+
+std::uint64_t ServiceClient::send(const std::string& payload) {
+  const std::uint64_t id = next_id_++;
+  send(id, payload);
+  return id;
+}
+
+void ServiceClient::send(std::uint64_t id, const std::string& payload) {
+  wire::encode_request(out_, id, payload);
+}
+
+void ServiceClient::flush() {
+  transfer([&] { return out_.empty(); });
+}
+
+ServiceClient::BinaryResponse ServiceClient::receive() {
+  BinaryResponse response;
+  bool have = false;
+  transfer([&] {
+    if (have) return true;
+    std::size_t consumed = 0;
+    const auto result = wire::decode_response(
+        in_, consumed, response.status, response.id, response.payload);
+    if (result == wire::DecodeResult::kMalformed) {
+      throw std::runtime_error("client: malformed response frame");
+    }
+    if (result == wire::DecodeResult::kFrame) {
+      in_.erase(0, consumed);
+      have = true;
+    }
+    return have;
+  });
+  return response;
+}
+
+std::vector<ServiceClient::BinaryResponse> ServiceClient::call_pipelined(
+    const std::vector<std::string>& payloads) {
+  for (const std::string& payload : payloads) send(payload);
+  std::vector<BinaryResponse> responses;
+  responses.reserve(payloads.size());
+  transfer([&] {
+    while (responses.size() < payloads.size()) {
+      BinaryResponse response;
+      std::size_t consumed = 0;
+      const auto result = wire::decode_response(
+          in_, consumed, response.status, response.id, response.payload);
+      if (result == wire::DecodeResult::kMalformed) {
+        throw std::runtime_error("client: malformed response frame");
+      }
+      if (result == wire::DecodeResult::kNeedMore) break;
+      in_.erase(0, consumed);
+      responses.push_back(std::move(response));
+    }
+    return responses.size() == payloads.size();
+  });
+  return responses;
+}
+
+#else  // !GSB_HAVE_CLIENT_SOCKETS
+
+ServiceClient ServiceClient::connect_tcp(const std::string&) {
+  throw std::runtime_error("client: sockets unavailable on this platform");
+}
+
+ServiceClient ServiceClient::connect_unix(const std::string&) {
+  throw std::runtime_error("client: sockets unavailable on this platform");
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  fd_ = std::exchange(other.fd_, -1);
+  return *this;
+}
+
+ServiceClient::~ServiceClient() = default;
+
+void ServiceClient::close() {}
+void ServiceClient::finish_sending() {}
+
+std::string ServiceClient::request(const std::string&) {
+  throw std::runtime_error("client: sockets unavailable on this platform");
+}
+
+std::vector<std::string> ServiceClient::request_pipelined(
+    const std::vector<std::string>&) {
+  throw std::runtime_error("client: sockets unavailable on this platform");
+}
+
+std::uint64_t ServiceClient::send(const std::string&) {
+  throw std::runtime_error("client: sockets unavailable on this platform");
+}
+
+void ServiceClient::send(std::uint64_t, const std::string&) {
+  throw std::runtime_error("client: sockets unavailable on this platform");
+}
+
+void ServiceClient::flush() {
+  throw std::runtime_error("client: sockets unavailable on this platform");
+}
+
+ServiceClient::BinaryResponse ServiceClient::receive() {
+  throw std::runtime_error("client: sockets unavailable on this platform");
+}
+
+std::vector<ServiceClient::BinaryResponse> ServiceClient::call_pipelined(
+    const std::vector<std::string>&) {
+  throw std::runtime_error("client: sockets unavailable on this platform");
+}
+
+#endif
+
+}  // namespace gsb::service

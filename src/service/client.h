@@ -1,0 +1,96 @@
+#ifndef GSB_SERVICE_CLIENT_H
+#define GSB_SERVICE_CLIENT_H
+
+/// \file client.h
+/// A small C++ client for the serving transports: TCP (`gsb serve --tcp`)
+/// and Unix-domain sockets (`--socket`), speaking both wire protocols
+/// (docs/SERVICE.md).
+///
+/// The line protocol is the scripting surface: `request()` for one
+/// round trip, `request_pipelined()` to keep many requests on the wire at
+/// once (responses in request order).  The binary protocol adds request
+/// ids and typed statuses: `send()` buffers frames without blocking on
+/// responses, `flush()`/`receive()` drive them, and `call_pipelined()`
+/// is the batch convenience around all three.  Pipelined calls interleave
+/// sends and receives through poll(), so a batch larger than both socket
+/// buffers cannot deadlock.  All I/O retries EINTR and sends with
+/// MSG_NOSIGNAL — a server that disappears surfaces as std::runtime_error,
+/// never SIGPIPE.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/wire_protocol.h"
+
+namespace gsb::service {
+
+class ServiceClient {
+ public:
+  struct BinaryResponse {
+    std::uint64_t id = 0;
+    wire::Status status = wire::Status::kOk;
+    std::string payload;
+  };
+
+  /// Connects to `HOST:PORT`.  Throws std::runtime_error on failure.
+  static ServiceClient connect_tcp(const std::string& host_port);
+  /// Connects to a Unix-domain socket path.
+  static ServiceClient connect_unix(const std::string& socket_path);
+
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ~ServiceClient();
+
+  // --- line protocol --------------------------------------------------------
+
+  /// One request line -> its response line (no trailing newline).
+  std::string request(const std::string& line);
+
+  /// Sends every line before reading, interleaved via poll(); returns the
+  /// response lines in request order.
+  std::vector<std::string> request_pipelined(
+      const std::vector<std::string>& lines);
+
+  // --- binary protocol ------------------------------------------------------
+
+  /// Buffers one request frame (auto-assigned id, returned); does not
+  /// block on the response.
+  std::uint64_t send(const std::string& payload);
+  /// Buffers one request frame under an explicit id.
+  void send(std::uint64_t id, const std::string& payload);
+  /// Writes every buffered frame to the socket.
+  void flush();
+  /// Blocks for the next response frame (flushing buffered sends first,
+  /// so a lone send()+receive() cannot deadlock).
+  BinaryResponse receive();
+  /// Pipelines one binary request per payload and returns the responses
+  /// in arrival order (== request order on a conforming server).
+  std::vector<BinaryResponse> call_pipelined(
+      const std::vector<std::string>& payloads);
+
+  /// Half-closes the send direction (the server sees EOF after draining).
+  void finish_sending();
+  /// Closes the socket.
+  void close();
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+
+  /// poll()-driven engine under both pipelined paths: drains `out_` while
+  /// collecting input until \p done says enough arrived.
+  template <typename DonePredicate>
+  void transfer(const DonePredicate& done);
+
+  int fd_ = -1;
+  std::string out_;      ///< encoded frames / lines awaiting send
+  std::string in_;       ///< received bytes awaiting decode
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace gsb::service
+
+#endif  // GSB_SERVICE_CLIENT_H

@@ -12,11 +12,16 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define GSB_HAVE_UNIX_SOCKETS 1
+#include <cerrno>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // macOS: SO_NOSIGPIPE is set on the socket instead
+#endif
 #endif
 
 namespace gsb::service {
@@ -28,9 +33,14 @@ struct ServeState {
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> accept_errors{0};
   std::atomic<bool> stopping{false};
   ResultCache* cache = nullptr;
   const std::atomic<bool>* external_stop = nullptr;
+  /// Listen backlog in force (0 on the stream transport).  The kernel
+  /// drops connections past this bound silently, so `stats` reports the
+  /// bound itself alongside the accept failures the server *can* see.
+  int listen_backlog = 0;
 
   [[nodiscard]] bool should_stop() const noexcept {
     return stopping.load(std::memory_order_relaxed) ||
@@ -61,7 +71,10 @@ std::optional<std::string> control_response(ServeState& state,
         " cache_hits=" +
         std::to_string(state.cache_hits.load(std::memory_order_relaxed)) +
         " cache_misses=" +
-        std::to_string(state.cache_misses.load(std::memory_order_relaxed));
+        std::to_string(state.cache_misses.load(std::memory_order_relaxed)) +
+        " accept_errors=" +
+        std::to_string(state.accept_errors.load(std::memory_order_relaxed)) +
+        " backlog=" + std::to_string(state.listen_backlog);
     if (state.cache != nullptr) {
       const auto cache_stats = state.cache->stats();
       out += " cache_entries=" + std::to_string(cache_stats.entries) +
@@ -182,10 +195,16 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
 
 namespace {
 
+/// Sends the whole buffer.  MSG_NOSIGNAL so a client that disconnected
+/// mid-response surfaces as EPIPE (connection teardown) instead of a
+/// process-killing SIGPIPE; EINTR retries so the CLI's SA_RESTART-free
+/// signal handlers cannot silently truncate a response.
 bool write_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
@@ -223,9 +242,15 @@ void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
     struct pollfd poller{fd, POLLIN, 0};
     const int ready = ::poll(&poller, 1, 200);
     if (state.should_stop()) break;  // graceful: in-flight lines finished
-    if (ready < 0) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // interrupted: re-check the stop flags
+      break;
+    }
     if (ready == 0) continue;
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    ssize_t n;
+    do {
+      n = ::read(fd, chunk, sizeof(chunk));
+    } while (n < 0 && errno == EINTR && !state.should_stop());
     if (n <= 0) {
       // EOF: a final request without a trailing newline is still a
       // request — answer it before closing instead of dropping it.
@@ -297,7 +322,7 @@ ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry> entry,
   if (listen_fd < 0) throw std::runtime_error("serve: socket() failed");
   if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
-      ::listen(listen_fd, 64) != 0) {
+      ::listen(listen_fd, SOMAXCONN) != 0) {
     ::close(listen_fd);
     throw std::runtime_error("serve: cannot bind '" + socket_path + "'");
   }
@@ -309,6 +334,7 @@ ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry> entry,
   ServeState state;
   state.cache = options.cache;
   state.external_stop = options.stop;
+  state.listen_backlog = SOMAXCONN;
   ServeStats stats;
   std::mutex stats_mutex;
 
@@ -337,7 +363,13 @@ ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry> entry,
     reap(false);
     if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flags
     const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK &&
+          errno != ECONNABORTED) {
+        state.accept_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mutex);
       ++stats.connections;
@@ -357,6 +389,7 @@ ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry> entry,
       current.st_ino == bound.st_ino && current.st_dev == bound.st_dev) {
     ::unlink(socket_path.c_str());
   }
+  stats.accept_errors = state.accept_errors.load(std::memory_order_relaxed);
   stats.shutdown_requested = state.stopping.load(std::memory_order_relaxed);
   return stats;
 }

@@ -45,6 +45,7 @@ struct ServeStats {
   std::uint64_t connections = 0;  ///< socket transport only
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t accept_errors = 0;  ///< failed accept() calls (socket only)
   QueryEngineStats engine;
   bool shutdown_requested = false;  ///< a client sent `shutdown`
 };

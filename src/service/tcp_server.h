@@ -1,0 +1,107 @@
+#ifndef GSB_SERVICE_TCP_SERVER_H
+#define GSB_SERVICE_TCP_SERVER_H
+
+/// \file tcp_server.h
+/// The high-throughput TCP front end behind `gsb serve --tcp`.
+///
+/// One epoll event loop owns every socket (non-blocking accept, read and
+/// write; no thread per connection); parsed requests are executed on a
+/// small worker pool, at most one in flight per connection, so responses
+/// leave each connection in request order and the engine's per-connection
+/// state never needs locks.  Each connection speaks one of two protocols,
+/// sniffed from its first byte (wire_protocol.h): the newline-delimited
+/// line protocol, or the length-prefixed binary protocol with request ids
+/// and pipelining.  Response payloads are produced by the same
+/// execute_cached_line path every other transport uses, so bytes are
+/// identical across stdin, Unix-socket, TCP-line and TCP-binary serving.
+///
+/// Admission control: a connection may hold at most `max_pipeline` queued
+/// requests and `max_inflight_bytes` of un-drained response bytes; beyond
+/// either bound new requests are answered immediately with a typed `busy`
+/// response (status kBusy on the binary protocol, a `busy: ...` line on
+/// the line protocol) instead of queueing unboundedly.  A client that
+/// keeps flooding without reading at all is disconnected once its output
+/// backlog reaches four times the byte budget.
+///
+/// Hot reload: the `reload` control request invokes the injected reload
+/// callback (the CLI wires it to a fresh GraphCatalog::open of the same
+/// spec) and swaps the served entry under live traffic.  In-flight
+/// queries finish against the old epoch through their shared_ptr; every
+/// request dispatched after the swap runs against the new epoch — no
+/// response ever mixes epochs.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "service/graph_catalog.h"
+#include "service/query_engine.h"
+#include "service/result_cache.h"
+
+namespace gsb::service {
+
+struct TcpServerOptions {
+  std::size_t threads = 0;       ///< execution workers; 0 = hardware cores
+  ResultCache* cache = nullptr;  ///< optional shared response cache
+  /// Optional external shutdown flag (signal handlers); polled by the
+  /// event loop.
+  const std::atomic<bool>* stop = nullptr;
+  /// Per-connection bound on buffered, un-drained response bytes before
+  /// admission control answers `busy`.
+  std::size_t max_inflight_bytes = 4u << 20;
+  /// Per-connection bound on queued (not yet executing) requests before
+  /// admission control answers `busy`.
+  std::size_t max_pipeline = 256;
+  /// Hot-reload hook: returns a freshly opened entry (new epoch) for the
+  /// `reload` control request; empty = reload unavailable.
+  std::function<std::shared_ptr<const GraphEntry>()> reload;
+};
+
+struct TcpServeStats {
+  std::uint64_t requests = 0;     ///< requests parsed (control included)
+  std::uint64_t connections = 0;  ///< connections accepted
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t busy_rejections = 0;  ///< requests answered `busy`
+  std::uint64_t accept_errors = 0;    ///< failed accept() calls
+  std::uint64_t protocol_errors = 0;  ///< malformed binary frames
+  std::uint64_t disconnects = 0;      ///< mid-session client disconnects
+  std::uint64_t reloads = 0;          ///< successful hot reloads
+  QueryEngineStats engine;            ///< merged across connection engines
+  bool shutdown_requested = false;    ///< a client sent `shutdown`
+};
+
+/// Binds in the constructor (so an ephemeral `HOST:0` port is readable
+/// via port() before serving) and runs the event loop in serve().
+/// Throws std::runtime_error when the address cannot be bound, or — on
+/// platforms without epoll — from the constructor.
+class TcpServer {
+ public:
+  /// \p address is `HOST:PORT`; an empty host binds every interface, port
+  /// 0 picks an ephemeral port.
+  TcpServer(std::shared_ptr<const GraphEntry> entry, const std::string& address,
+            TcpServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (useful after binding port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Serves until a `shutdown` request or the external stop flag, then
+  /// drains: queued requests finish, responses flush, connections close.
+  TcpServeStats serve();
+
+ private:
+  std::shared_ptr<const GraphEntry> entry_;
+  TcpServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace gsb::service
+
+#endif  // GSB_SERVICE_TCP_SERVER_H

@@ -1,0 +1,160 @@
+#ifndef GSB_SERVICE_WIRE_PROTOCOL_H
+#define GSB_SERVICE_WIRE_PROTOCOL_H
+
+/// \file wire_protocol.h
+/// The compact length-prefixed binary protocol the TCP transport speaks
+/// alongside the newline-delimited line protocol (spec prose in
+/// docs/SERVICE.md).  Header-only: the server, the client library, and
+/// the tests share these exact encode/decode routines, so framing can
+/// never drift between the endpoints.
+///
+/// All integers are little-endian.  Frames:
+///
+///   request   u8 version | u64 request_id | u32 payload_len | payload
+///   response  u8 version | u8 status | u64 request_id | u32 payload_len
+///             | payload
+///
+/// The payload of a request is exactly one line-protocol request (no
+/// trailing newline); the payload of a response is exactly the response
+/// line the line protocol would have produced for it — byte-identical
+/// across the two protocols by construction.  The version byte 0x01 also
+/// doubles as the per-connection protocol sniff: no line-protocol request
+/// starts with byte 0x01, so the first byte a connection sends commits it
+/// to one protocol for its lifetime.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace gsb::service::wire {
+
+/// Protocol version and the binary-connection sniff byte.
+inline constexpr std::uint8_t kVersion = 0x01;
+
+/// Response status byte.
+enum class Status : std::uint8_t {
+  kOk = 0,     ///< payload is a `<canonical-query>: ...` response line
+  kError = 1,  ///< payload is an `error: ...` response line
+  kBusy = 2,   ///< admission control rejected the request (`busy: ...`)
+};
+
+inline constexpr std::size_t kRequestHeaderBytes = 1 + 8 + 4;
+inline constexpr std::size_t kResponseHeaderBytes = 1 + 1 + 8 + 4;
+
+/// Frame-sanity bound on payload length; a longer length field is a
+/// protocol error, not an allocation request.
+inline constexpr std::size_t kMaxPayloadBytes = 64u << 20;
+
+namespace detail {
+
+inline void append_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+inline void append_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+inline std::uint32_t read_u32(const char* p) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return value;
+}
+
+inline std::uint64_t read_u64(const char* p) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return value;
+}
+
+}  // namespace detail
+
+/// Appends one encoded request frame to \p out.
+inline void encode_request(std::string& out, std::uint64_t request_id,
+                           std::string_view payload) {
+  out.push_back(static_cast<char>(kVersion));
+  detail::append_u64(out, request_id);
+  detail::append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+}
+
+/// Appends one encoded response frame to \p out.
+inline void encode_response(std::string& out, Status status,
+                            std::uint64_t request_id,
+                            std::string_view payload) {
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(status));
+  detail::append_u64(out, request_id);
+  detail::append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+}
+
+enum class DecodeResult {
+  kNeedMore,   ///< buffer holds a frame prefix; read more bytes
+  kFrame,      ///< one frame decoded; \p consumed bytes used
+  kMalformed,  ///< bad version byte or oversized length — protocol error
+};
+
+/// Decodes the first request frame of \p buf.
+inline DecodeResult decode_request(std::string_view buf,
+                                   std::size_t& consumed,
+                                   std::uint64_t& request_id,
+                                   std::string& payload) {
+  if (buf.empty()) return DecodeResult::kNeedMore;
+  if (static_cast<std::uint8_t>(buf[0]) != kVersion) {
+    return DecodeResult::kMalformed;
+  }
+  if (buf.size() < kRequestHeaderBytes) return DecodeResult::kNeedMore;
+  request_id = detail::read_u64(buf.data() + 1);
+  const std::uint32_t len = detail::read_u32(buf.data() + 9);
+  if (len > kMaxPayloadBytes) return DecodeResult::kMalformed;
+  if (buf.size() < kRequestHeaderBytes + len) return DecodeResult::kNeedMore;
+  payload.assign(buf.data() + kRequestHeaderBytes, len);
+  consumed = kRequestHeaderBytes + len;
+  return DecodeResult::kFrame;
+}
+
+/// Decodes the first response frame of \p buf.
+inline DecodeResult decode_response(std::string_view buf,
+                                    std::size_t& consumed, Status& status,
+                                    std::uint64_t& request_id,
+                                    std::string& payload) {
+  if (buf.empty()) return DecodeResult::kNeedMore;
+  if (static_cast<std::uint8_t>(buf[0]) != kVersion) {
+    return DecodeResult::kMalformed;
+  }
+  if (buf.size() < kResponseHeaderBytes) return DecodeResult::kNeedMore;
+  const std::uint8_t raw_status = static_cast<std::uint8_t>(buf[1]);
+  if (raw_status > static_cast<std::uint8_t>(Status::kBusy)) {
+    return DecodeResult::kMalformed;
+  }
+  status = static_cast<Status>(raw_status);
+  request_id = detail::read_u64(buf.data() + 2);
+  const std::uint32_t len = detail::read_u32(buf.data() + 10);
+  if (len > kMaxPayloadBytes) return DecodeResult::kMalformed;
+  if (buf.size() < kResponseHeaderBytes + len) return DecodeResult::kNeedMore;
+  payload.assign(buf.data() + kResponseHeaderBytes, len);
+  consumed = kResponseHeaderBytes + len;
+  return DecodeResult::kFrame;
+}
+
+/// Status for a line-protocol response the engine produced: the binary
+/// protocol types what the line protocol spells as a prefix.
+inline Status status_for_response(std::string_view response) {
+  if (response.starts_with("error:")) return Status::kError;
+  if (response.starts_with("busy:")) return Status::kBusy;
+  return Status::kOk;
+}
+
+}  // namespace gsb::service::wire
+
+#endif  // GSB_SERVICE_WIRE_PROTOCOL_H

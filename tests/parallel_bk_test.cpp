@@ -202,6 +202,10 @@ TEST(ParallelBk, ReorderWindowStaysBoundedAndBalanced) {
   ParallelBkOptions options;
   options.threads = 4;
   options.tracker = &tracker;
+  // The default window (64 MiB) dwarfs this graph's whole output, so
+  // nothing would bound the peak but scheduling luck; pin a window small
+  // enough that backpressure is what holds the line.
+  options.reorder_window_bytes = 16u * 1024u;
   const auto stats = parallel_bk(
       g,
       [&](std::span<const graph::VertexId> clique) {

@@ -15,6 +15,11 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <optional>
+
 #include "analysis/clique_stats.h"
 #include "analysis/hubs.h"
 #include "analysis/paraclique.h"
@@ -22,18 +27,23 @@
 #include "core/clique.h"
 #include "graph/transforms.h"
 #include "service/batch_executor.h"
+#include "service/client.h"
 #include "service/clique_index.h"
 #include "service/graph_catalog.h"
 #include "service/query.h"
 #include "service/query_engine.h"
 #include "service/result_cache.h"
 #include "service/server.h"
+#include "service/tcp_server.h"
+#include "service/wire_protocol.h"
 #include "storage/clique_stream.h"
 #include "storage/gsbg_writer.h"
 #include "tests/test_helpers.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define GSB_TEST_UNIX_SOCKETS 1
+#include <csignal>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -566,7 +576,497 @@ TEST(Serve, UnixSocketSessionAnswersAndShutsDown) {
   EXPECT_EQ(stats.connections, 2u);
   EXPECT_EQ(stats.requests, 6u);
 }
+
+/// Connects to a Unix-socket server, retrying while it binds.
+int connect_unix_retrying(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path.c_str());
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+// Regression: a client that floods requests and closes without reading
+// used to kill the whole server with SIGPIPE (raw ::write without
+// MSG_NOSIGNAL).  Now only that connection dies; the server keeps
+// serving.
+TEST(Serve, SurvivesClientDisconnectMidResponse) {
+  const auto a = make_artifacts(48, 0.35, 31, "service_midrop");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  const std::string socket_path = temp_path("service_midrop.sock");
+  std::remove(socket_path.c_str());
+
+  ServeOptions options;
+  options.threads = 2;
+  ServeStats stats;
+  std::thread server([&] {
+    stats = serve_unix_socket(entry, socket_path, options);
+  });
+
+  // Flood: thousands of pipelined requests, then an immediate close —
+  // never reading a byte, so the server's writes hit a dead peer.
+  const int flood_fd = connect_unix_retrying(socket_path);
+  ASSERT_GE(flood_fd, 0) << "could not connect to " << socket_path;
+  std::string flood;
+  for (int i = 0; i < 5000; ++i) {
+    flood += "neighbors " + std::to_string(i % 48) + "\n";
+  }
+  // A partial write is fine — the point is closing with responses owed.
+  (void)::write(flood_fd, flood.data(), flood.size());
+  ::close(flood_fd);
+
+  // The server must still answer a fresh connection.
+  const int fd = connect_unix_retrying(socket_path);
+  ASSERT_GE(fd, 0);
+  const std::string request = "ping\nshutdown\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[256];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+  EXPECT_EQ(response, "ok pong\nok shutdown\n");
+  EXPECT_TRUE(stats.shutdown_requested);
+}
+
+namespace {
+void noop_signal_handler(int) {}
+}  // namespace
+
+// Regression: the serve loop's signal handlers are installed without
+// SA_RESTART, so any signal makes blocked poll/read/send return EINTR.
+// That used to abort the connection mid-session, silently dropping or
+// truncating responses; now the loops retry and every response arrives
+// complete and byte-identical.
+TEST(Serve, SignalsDuringBlockedIoDropNoResponses) {
+  const auto a = make_artifacts(40, 0.35, 37, "service_eintr");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  const std::string socket_path = temp_path("service_eintr.sock");
+  std::remove(socket_path.c_str());
+
+  // SA_RESTART deliberately absent, matching the CLI's serve handlers.
+  struct sigaction action{};
+  action.sa_handler = noop_signal_handler;
+  sigemptyset(&action.sa_mask);
+  struct sigaction previous{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  ServeOptions options;
+  options.threads = 2;
+  ServeStats stats;
+  // The server thread (and its per-connection threads) keep SIGUSR1
+  // unblocked; the test thread blocks it before spawning the signaler, so
+  // every kill() below lands on a server thread's blocked syscall.
+  std::thread server([&] {
+    stats = serve_unix_socket(entry, socket_path, options);
+  });
+  sigset_t usr1;
+  sigemptyset(&usr1);
+  sigaddset(&usr1, SIGUSR1);
+  ASSERT_EQ(pthread_sigmask(SIG_BLOCK, &usr1, nullptr), 0);
+
+  std::atomic<bool> stop_signals{false};
+  std::thread signaler([&] {
+    while (!stop_signals.load(std::memory_order_relaxed)) {
+      ::kill(::getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  const int fd = connect_unix_retrying(socket_path);
+  ASSERT_GE(fd, 0) << "could not connect to " << socket_path;
+  std::vector<std::string> lines;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& line : mixed_workload(a.graph)) lines.push_back(line);
+  }
+  std::string request;
+  for (const auto& line : lines) request += line + '\n';
+  request += "shutdown\n";
+  std::size_t sent = 0;  // the raw client retries its own EINTRs
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + sent, request.size() - sent);
+    if (n < 0 && errno == EINTR) continue;
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+  stop_signals.store(true, std::memory_order_relaxed);
+  signaler.join();
+  ASSERT_EQ(pthread_sigmask(SIG_UNBLOCK, &usr1, nullptr), 0);
+  ::sigaction(SIGUSR1, &previous, nullptr);
+
+  QueryEngine reference(entry);
+  std::string expected;
+  for (const auto& line : lines) {
+    expected += reference.execute_line(line) + '\n';
+  }
+  expected += "ok shutdown\n";
+  EXPECT_EQ(response, expected);
+  EXPECT_TRUE(stats.shutdown_requested);
+  EXPECT_EQ(stats.requests, lines.size() + 1);
+}
 #endif  // GSB_TEST_UNIX_SOCKETS
+
+TEST(WireProtocol, FramesRoundTripAndRejectMalformedInput) {
+  std::string buf;
+  wire::encode_request(buf, 42, "degree 7");
+  wire::encode_request(buf, 43, "");
+  std::size_t consumed = 0;
+  std::uint64_t id = 0;
+  std::string payload;
+  ASSERT_EQ(wire::decode_request(buf, consumed, id, payload),
+            wire::DecodeResult::kFrame);
+  EXPECT_EQ(id, 42u);
+  EXPECT_EQ(payload, "degree 7");
+  buf.erase(0, consumed);
+  ASSERT_EQ(wire::decode_request(buf, consumed, id, payload),
+            wire::DecodeResult::kFrame);
+  EXPECT_EQ(id, 43u);
+  EXPECT_TRUE(payload.empty());
+  buf.erase(0, consumed);
+  EXPECT_EQ(wire::decode_request(buf, consumed, id, payload),
+            wire::DecodeResult::kNeedMore);
+
+  std::string response;
+  wire::encode_response(response, wire::Status::kBusy, 7, "busy: x");
+  // Byte-by-byte prefixes of a valid frame all say "need more".
+  for (std::size_t len = 0; len < response.size(); ++len) {
+    wire::Status status{};
+    EXPECT_EQ(wire::decode_response(std::string_view(response).substr(0, len),
+                                    consumed, status, id, payload),
+              wire::DecodeResult::kNeedMore)
+        << "prefix " << len;
+  }
+  wire::Status status{};
+  ASSERT_EQ(wire::decode_response(response, consumed, status, id, payload),
+            wire::DecodeResult::kFrame);
+  EXPECT_EQ(status, wire::Status::kBusy);
+  EXPECT_EQ(id, 7u);
+  EXPECT_EQ(payload, "busy: x");
+
+  EXPECT_EQ(wire::decode_request("degree 7\n", consumed, id, payload),
+            wire::DecodeResult::kMalformed);  // line bytes are not a frame
+  std::string oversized;
+  wire::encode_request(oversized, 1, "x");
+  oversized[9] = '\xff';  // length field far beyond kMaxPayloadBytes
+  oversized[10] = '\xff';
+  oversized[11] = '\xff';
+  oversized[12] = '\xff';
+  EXPECT_EQ(wire::decode_request(oversized, consumed, id, payload),
+            wire::DecodeResult::kMalformed);
+
+  EXPECT_EQ(wire::status_for_response("degree 3: 4"), wire::Status::kOk);
+  EXPECT_EQ(wire::status_for_response("error: nope"), wire::Status::kError);
+  EXPECT_EQ(wire::status_for_response("busy: later"), wire::Status::kBusy);
+}
+
+#if defined(__linux__)
+
+/// One TCP server on an ephemeral port, serving on a background thread.
+struct TcpFixture {
+  GraphCatalog catalog;
+  std::shared_ptr<const GraphEntry> entry;
+  std::optional<TcpServer> server;
+  std::thread thread;
+  TcpServeStats stats;
+
+  TcpFixture(const Artifacts& a, TcpServerOptions options = {},
+             bool with_reload = false, const GraphSpec* spec = nullptr) {
+    entry = catalog.open("g", spec_for(a));
+    if (with_reload) {
+      GraphSpec reload_spec = spec != nullptr ? *spec : spec_for(a);
+      options.reload = [this, reload_spec] {
+        return catalog.open("g", reload_spec);
+      };
+    }
+    server.emplace(entry, "127.0.0.1:0", options);
+    thread = std::thread([this] { stats = server->serve(); });
+  }
+
+  [[nodiscard]] std::string address() const {
+    return "127.0.0.1:" + std::to_string(server->port());
+  }
+
+  void join() { thread.join(); }
+
+  ~TcpFixture() {
+    if (thread.joinable()) {
+      try {
+        ServiceClient::connect_tcp(address()).request("shutdown");
+      } catch (const std::exception&) {
+      }
+      thread.join();
+    }
+  }
+};
+
+TEST(TcpServe, LineProtocolMatchesBatchAcrossThreadCountsAndReportsStats) {
+  const auto a = make_artifacts(48, 0.3, 41, "service_tcp_line");
+  const auto lines = mixed_workload(a.graph);
+
+  GraphCatalog reference_catalog;
+  auto reference_entry = reference_catalog.open("g", spec_for(a));
+  BatchOptions sequential;
+  sequential.threads = 1;
+  const auto reference = execute_batch(reference_entry, lines, sequential);
+
+  for (const std::size_t threads : {1u, 4u}) {
+    TcpServerOptions options;
+    options.threads = threads;
+    TcpFixture fx(a, options);
+
+    auto client = ServiceClient::connect_tcp(fx.address());
+    EXPECT_EQ(client.request("ping"), "ok pong");
+    EXPECT_EQ(client.request_pipelined(lines), reference.responses)
+        << "threads " << threads;
+
+    const std::string stats_line = client.request("stats");
+    EXPECT_TRUE(stats_line.starts_with("ok stats:")) << stats_line;
+    EXPECT_NE(stats_line.find(" backlog="), std::string::npos) << stats_line;
+    EXPECT_NE(stats_line.find(" accept_errors=0"), std::string::npos)
+        << stats_line;
+    EXPECT_NE(stats_line.find(" epoch="), std::string::npos) << stats_line;
+
+    EXPECT_EQ(client.request("shutdown"), "ok shutdown");
+    fx.join();
+    EXPECT_TRUE(fx.stats.shutdown_requested);
+    EXPECT_EQ(fx.stats.requests, lines.size() + 3);
+    EXPECT_EQ(fx.stats.protocol_errors, 0u);
+  }
+}
+
+TEST(TcpServe, BinaryPipeliningMatchesLineBytesAndPreservesIdOrder) {
+  const auto a = make_artifacts(44, 0.3, 43, "service_tcp_bin");
+  const auto lines = mixed_workload(a.graph);
+
+  GraphCatalog reference_catalog;
+  auto reference_entry = reference_catalog.open("g", spec_for(a));
+  BatchOptions sequential;
+  sequential.threads = 1;
+  const auto reference = execute_batch(reference_entry, lines, sequential);
+
+  TcpServerOptions options;
+  options.threads = 3;
+  TcpFixture fx(a, options);
+
+  auto client = ServiceClient::connect_tcp(fx.address());
+  const auto responses = client.call_pipelined(lines);
+  ASSERT_EQ(responses.size(), lines.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].id, i + 1) << "response " << i;
+    EXPECT_EQ(responses[i].payload, reference.responses[i]) << lines[i];
+    EXPECT_EQ(responses[i].status,
+              reference.responses[i].starts_with("error:")
+                  ? wire::Status::kError
+                  : wire::Status::kOk)
+        << lines[i];
+  }
+
+  // Control requests answer on the binary framing too.
+  const auto pong = client.call_pipelined({"ping"});
+  ASSERT_EQ(pong.size(), 1u);
+  EXPECT_EQ(pong[0].payload, "ok pong");
+
+  EXPECT_EQ(client.call_pipelined({"shutdown"})[0].payload, "ok shutdown");
+  fx.join();
+  EXPECT_EQ(fx.stats.protocol_errors, 0u);
+}
+
+TEST(TcpServe, AdmissionControlAnswersTypedBusyInFifoOrder) {
+  const auto a = make_artifacts(40, 0.3, 47, "service_tcp_busy");
+  TcpServerOptions options;
+  options.threads = 1;
+  options.max_pipeline = 1;  // one executing + one queued, rest -> busy
+  TcpFixture fx(a, options);
+
+  QueryEngine reference(fx.entry);
+  const std::string expected = reference.execute_line("top-hubs 5");
+
+  auto client = ServiceClient::connect_tcp(fx.address());
+  const std::size_t burst = 200;
+  const auto responses = client.call_pipelined(
+      std::vector<std::string>(burst, "top-hubs 5"));
+  ASSERT_EQ(responses.size(), burst);
+  std::size_t busy = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].id, i + 1) << "busy responses must keep FIFO order";
+    if (responses[i].status == wire::Status::kBusy) {
+      ++busy;
+      EXPECT_TRUE(responses[i].payload.starts_with("busy:"))
+          << responses[i].payload;
+    } else {
+      EXPECT_EQ(responses[i].status, wire::Status::kOk);
+      EXPECT_EQ(responses[i].payload, expected);
+    }
+  }
+  EXPECT_GT(busy, 0u);
+  EXPECT_LT(busy, burst);  // the accepted requests all answered correctly
+
+  // The first byte committed this connection to binary framing for good.
+  EXPECT_EQ(client.call_pipelined({"shutdown"})[0].payload, "ok shutdown");
+  fx.join();
+  EXPECT_EQ(fx.stats.busy_rejections, busy);
+}
+
+TEST(TcpServe, HotReloadUnderConcurrentLoadMixesNoEpochs) {
+  const auto a = make_artifacts(44, 0.3, 53, "service_tcp_reload");
+  const auto lines = mixed_workload(a.graph);
+
+  GraphCatalog reference_catalog;
+  auto reference_entry = reference_catalog.open("g", spec_for(a));
+  BatchOptions sequential;
+  sequential.threads = 1;
+  const auto reference = execute_batch(reference_entry, lines, sequential);
+
+  ResultCache cache(8u << 20);
+  TcpServerOptions options;
+  options.threads = 4;
+  options.cache = &cache;
+  TcpFixture fx(a, options, /*with_reload=*/true);
+
+  // Four clients hammer the full workload while reloads swap epochs
+  // underneath them; every response must stay byte-identical.
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      auto client = ServiceClient::connect_tcp(fx.address());
+      for (int round = 0; round < 6; ++round) {
+        const auto responses = client.request_pipelined(lines);
+        if (responses != reference.responses) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  auto control = ServiceClient::connect_tcp(fx.address());
+  std::uint64_t last_epoch = 0;
+  for (int r = 0; r < 5; ++r) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::string response = control.request("reload");
+    ASSERT_TRUE(response.starts_with("ok reload epoch=")) << response;
+    const std::uint64_t epoch =
+        std::stoull(response.substr(std::strlen("ok reload epoch=")));
+    EXPECT_GT(epoch, last_epoch);
+    last_epoch = epoch;
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  control.request("shutdown");
+  fx.join();
+  EXPECT_EQ(fx.stats.reloads, 5u);
+  EXPECT_EQ(fx.stats.protocol_errors, 0u);
+  EXPECT_EQ(fx.stats.busy_rejections, 0u);
+}
+
+TEST(TcpServe, SurvivesClientDisconnectMidResponse) {
+  const auto a = make_artifacts(48, 0.35, 59, "service_tcp_drop");
+  TcpServerOptions options;
+  options.threads = 2;
+  TcpFixture fx(a, options);
+
+  {
+    // Flood pipelined requests and vanish without reading a byte.
+    auto flood = ServiceClient::connect_tcp(fx.address());
+    for (int i = 0; i < 5000; ++i) {
+      flood.send("neighbors " + std::to_string(i % 48));
+    }
+    try {
+      flood.flush();  // the server may drop us mid-flood — that's the point
+    } catch (const std::exception&) {
+    }
+    flood.close();
+  }
+
+  // The server keeps serving fresh connections with correct bytes.
+  QueryEngine reference(fx.entry);
+  auto client = ServiceClient::connect_tcp(fx.address());
+  EXPECT_EQ(client.request("degree 3"), reference.execute_line("degree 3"));
+  EXPECT_EQ(client.request("shutdown"), "ok shutdown");
+  fx.join();
+  EXPECT_TRUE(fx.stats.shutdown_requested);
+}
+
+TEST(TcpServe, MalformedBinaryFrameClosesOnlyThatConnection) {
+  const auto a = make_artifacts(32, 0.3, 61, "service_tcp_malformed");
+  TcpFixture fx(a);
+
+  {
+    // Hand-crafted garbage: the 0x01 sniff byte commits the connection
+    // to binary framing, then the length field claims ~4 GB — far past
+    // the 64 MB frame bound, a protocol error.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.server->port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string junk(1, '\x01');
+    junk.append(8, '\x00');  // request id
+    junk.append(4, '\xff');  // payload length 0xffffffff
+    ASSERT_EQ(::write(fd, junk.data(), junk.size()),
+              static_cast<ssize_t>(junk.size()));
+    // The server answers one typed error frame, then closes this
+    // connection (EOF) without touching any other.
+    std::string raw;
+    char chunk[256];
+    while (true) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      raw.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    std::size_t consumed = 0;
+    wire::Status status{};
+    std::uint64_t id = 0;
+    std::string payload;
+    ASSERT_EQ(wire::decode_response(raw, consumed, status, id, payload),
+              wire::DecodeResult::kFrame);
+    EXPECT_EQ(status, wire::Status::kError);
+    EXPECT_EQ(payload, "error: malformed frame");
+    EXPECT_EQ(consumed, raw.size());  // nothing after the error frame
+  }
+
+  auto probe = ServiceClient::connect_tcp(fx.address());
+  EXPECT_EQ(probe.request("ping"), "ok pong");
+  EXPECT_EQ(probe.request("shutdown"), "ok shutdown");
+  fx.join();
+  EXPECT_EQ(fx.stats.protocol_errors, 1u);
+}
+
+#endif  // defined(__linux__)
 
 }  // namespace
 }  // namespace gsb::service
