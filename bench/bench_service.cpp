@@ -34,6 +34,8 @@
 
 #include "core/bron_kerbosch.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/batch_executor.h"
 #include "service/client.h"
 #include "service/clique_index.h"
@@ -314,6 +316,79 @@ BENCHMARK(BM_TcpClosedLoop)
     ->Args({8, 16})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/// One closed-loop pass (no latency bookkeeping): wall seconds to push
+/// `per_client` requests through each of `clients` pipelined connections.
+double closed_loop_seconds(const std::string& address, std::size_t clients,
+                           std::size_t depth, std::size_t per_client) {
+  auto& workload = fixture().workload;
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = service::ServiceClient::connect_tcp(address);
+      std::size_t issued = 0;
+      const auto issue = [&] {
+        client.send(workload[(issued * clients + c) % workload.size()]);
+        ++issued;
+      };
+      while (issued < std::min(depth, per_client)) issue();
+      client.flush();
+      for (std::size_t received = 0; received < per_client; ++received) {
+        benchmark::DoNotOptimize(client.receive().payload.data());
+        if (issued < per_client) {
+          issue();
+          client.flush();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+// The observability acceptance number: the same closed loop against the
+// same server with the registry+tracer off, then on.  The per-request
+// delta divided by the baseline lands in `instr_overhead_pct` — the
+// budget is < 3%, and the response bytes are identical either way (the
+// service tests pin that part).
+void BM_TcpInstrumentationOverhead(benchmark::State& state) {
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kDepth = 8;
+  constexpr std::size_t kRequestsPerClient = 256;
+  TcpBench bench(/*threads=*/4);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Tracer& tracer = obs::Tracer::global();
+  // Warm the server (engines, cache, page faults) off the record.
+  closed_loop_seconds(bench.address(), kClients, kDepth, kRequestsPerClient);
+
+  double off_seconds = 0.0;
+  double on_seconds = 0.0;
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    registry.set_enabled(false);
+    tracer.set_enabled(false);
+    off_seconds += closed_loop_seconds(bench.address(), kClients, kDepth,
+                                       kRequestsPerClient);
+    registry.set_enabled(true);
+    tracer.set_enabled(true);
+    on_seconds += closed_loop_seconds(bench.address(), kClients, kDepth,
+                                      kRequestsPerClient);
+    completed += 2 * kClients * kRequestsPerClient;
+  }
+  registry.set_enabled(false);
+  tracer.set_enabled(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  state.counters["instr_overhead_pct"] =
+      off_seconds > 0.0 ? (on_seconds / off_seconds - 1.0) * 100.0 : 0.0;
+}
+BENCHMARK(BM_TcpInstrumentationOverhead)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(2.0);
 
 #endif  // defined(__linux__)
 

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace gsb::bio {
 namespace {
 
@@ -234,6 +236,16 @@ void correlation_cross(const AlignedRows& a, std::size_t a_count,
     for (std::size_t j0 = diagonal ? i0 : 0; j0 < b_count; j0 += block) {
       tasks.push_back(Task{i0, j0});
     }
+  }
+  {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    static const obs::Counter sweeps = registry.counter(
+        "gsb_correlation_sweeps_total", "Blocked correlation sweeps run.");
+    static const obs::Counter blocks = registry.counter(
+        "gsb_correlation_blocks_total",
+        "Correlation tile blocks computed across sweeps.");
+    sweeps.inc();
+    blocks.inc(tasks.size());
   }
 
   struct Hit {

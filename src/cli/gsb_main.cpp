@@ -38,6 +38,7 @@
 #include <random>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -60,6 +61,9 @@
 #include "graph/graph_view.h"
 #include "graph/io.h"
 #include "graph/transforms.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/batch_executor.h"
 #include "service/client.h"
 #include "service/clique_index.h"
@@ -147,6 +151,9 @@ query flags:   --graph-file FILE ['QUERY' | --batch FILE|-] [--cliques F.gsbc]
 serve flags:   --graph-file FILE [--cliques F.gsbc] [--index F.gsbci]
                [--no-index] [--format F] [--socket PATH | --tcp HOST:PORT]
                [--threads P] [--cache] [--cache-bytes N] [--inflight-bytes N]
+               [--metrics] [--slow-query-log MICROS]
+               --metrics enables the registry and the `metrics` control
+               request (Prometheus/JSON/traces: docs/OBSERVABILITY.md)
 
 Every flag can also be set through the environment as GSB_<NAME>.
 Full reference with worked examples: docs/CLI.md; the query grammar and
@@ -948,7 +955,24 @@ int run_remote_query(const std::string& target, bool binary,
   std::size_t errors = 0;
   for (const std::string& response : responses) {
     if (response.rfind("error:", 0) == 0) ++errors;
-    std::printf("%s\n", response.c_str());
+    // Metrics payloads travel one-line-framed on the wire; unwrap them for
+    // the terminal so `gsb query --connect ... metrics` prints scrapable
+    // Prometheus text (JSON and traces are naturally single-line).
+    constexpr std::string_view kProm = "ok metrics prom ";
+    constexpr std::string_view kJson = "ok metrics json ";
+    constexpr std::string_view kTraces = "ok metrics traces ";
+    if (response.rfind(kProm, 0) == 0) {
+      const std::string text =
+          obs::unescape_multiline(response.substr(kProm.size()));
+      std::fwrite(text.data(), 1, text.size(), stdout);
+      if (text.empty() || text.back() != '\n') std::printf("\n");
+    } else if (response.rfind(kJson, 0) == 0) {
+      std::printf("%s\n", response.c_str() + kJson.size());
+    } else if (response.rfind(kTraces, 0) == 0) {
+      std::printf("%s\n", response.c_str() + kTraces.size());
+    } else {
+      std::printf("%s\n", response.c_str());
+    }
   }
   const bool all_errors = !responses.empty() && errors == responses.size();
   return all_errors ? 1 : 0;
@@ -1055,7 +1079,8 @@ int cmd_serve(const util::Cli& cli) {
         "usage: gsb serve --graph-file FILE [--cliques F.gsbc]\n"
         "           [--index F.gsbci] [--no-index] [--format F]\n"
         "           [--socket PATH | --tcp HOST:PORT] [--threads P]\n"
-        "           [--cache] [--cache-bytes N] [--inflight-bytes N]\n");
+        "           [--cache] [--cache-bytes N] [--inflight-bytes N]\n"
+        "           [--metrics] [--slow-query-log MICROS]\n");
     return 2;
   }
   const auto threads = size_flag(cli, "threads", 0);
@@ -1064,9 +1089,20 @@ int cmd_serve(const util::Cli& cli) {
   const std::string socket_path = cli.get("socket", "");
   const std::string tcp_address = cli.get("tcp", "");
   const auto inflight_bytes = size_flag(cli, "inflight-bytes", 4 << 20);
+  const auto slow_query_log = size_flag(cli, "slow-query-log", 0);
+  // A slow-query threshold needs the tracer, which needs the registry, so
+  // --slow-query-log implies --metrics.
+  const bool metrics = cli.get_bool("metrics", false) || slow_query_log > 0;
   if (!socket_path.empty() && !tcp_address.empty()) {
     std::fprintf(stderr, "error: --socket and --tcp are exclusive\n");
     return 2;
+  }
+  if (metrics) {
+    obs::MetricsRegistry::global().set_enabled(true);
+    obs::Tracer::global().set_enabled(true);
+    if (slow_query_log > 0) {
+      obs::Tracer::global().set_slow_log_micros(slow_query_log);
+    }
   }
 
   service::GraphCatalog catalog;
@@ -1157,6 +1193,7 @@ int cmd_serve(const util::Cli& cli) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::anchor_process_start();
   const util::Cli cli(argc, argv);
   const std::string command =
       cli.positional().empty() ? "" : cli.positional().front();

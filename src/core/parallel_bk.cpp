@@ -9,6 +9,7 @@
 #include "core/detail/bk_kernel.h"
 #include "core/detail/task_claims.h"
 #include "graph/transforms.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "util/timer.h"
 
@@ -248,6 +249,23 @@ ParallelBkStats parallel_bk(const graph::GraphView& g,
     stats.base.max_depth = std::max(stats.base.max_depth, ws.max_depth);
   }
   stats.total_seconds = total_timer.seconds();
+
+  // Fold the run's work-stealing behaviour into the metrics registry so
+  // a serving process exposes enumeration health without plumbing stats
+  // structs through every caller.
+  {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    static const obs::Counter runs = registry.counter(
+        "gsb_bk_runs_total", "Parallel Bron-Kerbosch enumerations.");
+    static const obs::Counter steals = registry.counter(
+        "gsb_bk_steals_total", "Root tasks stolen across worker threads.");
+    static const obs::Gauge peak_pending = registry.gauge(
+        "gsb_bk_peak_pending_bytes",
+        "High-water bytes buffered in the reorder emitter.");
+    runs.inc();
+    steals.inc(stats.steals);
+    peak_pending.set_max(stats.peak_pending_bytes);
+  }
   return stats;
 }
 

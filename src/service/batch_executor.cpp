@@ -1,35 +1,129 @@
 #include "service/batch_executor.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <optional>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace gsb::service {
+
+namespace {
+
+constexpr std::size_t kNumQueryKinds =
+    static_cast<std::size_t>(QueryKind::kTopHubs) + 1;
+
+/// Per-query-type series for the one parse→cache→engine path every
+/// transport funnels through.  Slot kNumQueryKinds is `type="invalid"`
+/// (lines that fail to parse).
+struct RequestMetrics {
+  std::array<obs::Counter, kNumQueryKinds + 1> requests;
+  std::array<obs::Counter, kNumQueryKinds + 1> errors;
+  std::array<obs::Histogram, kNumQueryKinds + 1> duration;
+  obs::Counter cache_hits;
+  obs::Counter cache_misses;
+};
+
+const RequestMetrics& request_metrics() {
+  static const RequestMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    RequestMetrics m;
+    for (std::size_t k = 0; k <= kNumQueryKinds; ++k) {
+      const char* type = k < kNumQueryKinds
+                             ? query_kind_name(static_cast<QueryKind>(k))
+                             : "invalid";
+      const std::string labels = std::string("type=\"") + type + "\"";
+      m.requests[k] = registry.counter(
+          "gsb_requests_by_type_total", "Query requests per query type.",
+          labels);
+      m.errors[k] = registry.counter(
+          "gsb_request_errors_total",
+          "Requests answered with an error line, per query type.", labels);
+      m.duration[k] = registry.histogram(
+          "gsb_request_duration_microseconds",
+          "End-to-end request latency (parse + cache + execute).", labels);
+    }
+    m.cache_hits = registry.counter("gsb_cache_hits_total",
+                                    "Result-cache lookups that hit.");
+    m.cache_misses = registry.counter("gsb_cache_misses_total",
+                                      "Result-cache lookups that missed.");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 std::string execute_cached_line(QueryEngine& engine, ResultCache* cache,
                                 const std::string& line,
                                 std::uint64_t& cache_hits,
                                 std::uint64_t& cache_misses) {
+  const RequestMetrics& metrics = request_metrics();
+  const bool instrumented = obs::MetricsRegistry::global().enabled();
+  util::Timer timer;
+
   Query query;
-  try {
-    query = parse_query(line);
-  } catch (const std::exception&) {
-    return engine.execute_line(line);  // counted + formatted by the engine
+  bool parsed = false;
+  {
+    obs::SpanTimer span(obs::Span::kParse);
+    try {
+      query = parse_query(line);
+      parsed = true;
+    } catch (const std::exception&) {
+    }
   }
-  if (cache == nullptr) return engine.execute(query);
+  if (!parsed) {
+    // Counted + formatted by the engine; metered as type="invalid".
+    std::string response = engine.execute_line(line);
+    if (instrumented) {
+      metrics.requests[kNumQueryKinds].inc();
+      metrics.errors[kNumQueryKinds].inc();
+      metrics.duration[kNumQueryKinds].observe_micros(
+          static_cast<std::uint64_t>(timer.micros()));
+    }
+    return response;
+  }
+  const auto kind = static_cast<std::size_t>(query.kind);
+  metrics.requests[kind].inc();
+  const auto finish = [&](std::string response) {
+    if (instrumented) {
+      if (response.starts_with("error:")) metrics.errors[kind].inc();
+      metrics.duration[kind].observe_micros(
+          static_cast<std::uint64_t>(timer.micros()));
+    }
+    return response;
+  };
+
+  if (cache == nullptr) {
+    obs::SpanTimer span(obs::Span::kExecute);
+    return finish(engine.execute(query));
+  }
   const std::uint64_t epoch = engine.entry().epoch();
   const std::string canonical = canonical_query(query);
-  if (auto cached = cache->lookup(epoch, canonical)) {
-    ++cache_hits;
-    return *std::move(cached);
+  {
+    obs::SpanTimer span(obs::Span::kCacheLookup);
+    if (auto cached = cache->lookup(epoch, canonical)) {
+      ++cache_hits;
+      metrics.cache_hits.inc();
+      return finish(*std::move(cached));
+    }
   }
   ++cache_misses;
-  std::string response = engine.execute(query);
+  metrics.cache_misses.inc();
+  std::string response;
+  {
+    obs::SpanTimer span(obs::Span::kExecute);
+    response = engine.execute(query);
+  }
   if (!response.starts_with("error:")) {
+    obs::SpanTimer span(obs::Span::kCacheLookup);
     cache->insert(epoch, canonical, response);
   }
-  return response;
+  return finish(std::move(response));
 }
 
 namespace {
@@ -54,6 +148,16 @@ BatchResult execute_batch(std::shared_ptr<const GraphEntry> entry,
   if (entry == nullptr) {
     throw std::invalid_argument("execute_batch: null graph entry");
   }
+  static const obs::Counter batches_total =
+      obs::MetricsRegistry::global().counter(
+          "gsb_batches_total",
+          "Batch executions (CLI --batch and serve groups).");
+  static const obs::Counter batch_lines_total =
+      obs::MetricsRegistry::global().counter(
+          "gsb_batch_lines_total", "Query lines executed through batches.");
+  batches_total.inc();
+  batch_lines_total.inc(lines.size());
+
   BatchResult result;
   result.responses.resize(lines.size());
 

@@ -1,0 +1,71 @@
+#include "service/control_text.h"
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/result_cache.h"
+#include "util/memory_tracker.h"
+
+namespace gsb::service {
+
+std::string render_stats_line(const StatsFields& fields) {
+  std::string out = "ok stats: requests=" + std::to_string(fields.requests) +
+                    " cache_hits=" + std::to_string(fields.cache_hits) +
+                    " cache_misses=" + std::to_string(fields.cache_misses);
+  if (fields.connections) {
+    out += " connections=" + std::to_string(*fields.connections);
+  }
+  if (fields.busy) out += " busy=" + std::to_string(*fields.busy);
+  out += " accept_errors=" + std::to_string(fields.accept_errors) +
+         " backlog=" + std::to_string(fields.backlog);
+  if (fields.epoch) out += " epoch=" + std::to_string(*fields.epoch);
+  out += " uptime_seconds=" + std::to_string(obs::process_uptime_seconds()) +
+         " rss_bytes=" + std::to_string(util::process_current_rss_bytes());
+  if (fields.cache != nullptr) {
+    const auto cache_stats = fields.cache->stats();
+    out += " cache_entries=" + std::to_string(cache_stats.entries) +
+           " cache_bytes=" + std::to_string(cache_stats.bytes);
+  }
+  return out;
+}
+
+std::optional<std::string> metrics_response(const std::string& request) {
+  if (request != "metrics" && request.rfind("metrics ", 0) != 0) {
+    return std::nullopt;
+  }
+  std::string format =
+      request == "metrics" ? std::string("prom") : request.substr(8);
+  const auto begin = format.find_first_not_of(' ');
+  if (begin == std::string::npos) {
+    format = "prom";
+  } else {
+    const auto end = format.find_last_not_of(' ');
+    format = format.substr(begin, end - begin + 1);
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  if (!registry.enabled()) {
+    return std::string("error: metrics disabled (serve with --metrics)");
+  }
+  if (format == "prom") {
+    return "ok metrics prom " +
+           obs::escape_multiline(obs::render_prometheus(registry.scrape()));
+  }
+  if (format == "json") {
+    return "ok metrics json " + obs::render_json(registry.scrape());
+  }
+  if (format == "traces") {
+    return "ok metrics traces " +
+           obs::render_traces_json(obs::Tracer::global().slowest());
+  }
+  return "error: unknown metrics format '" + format +
+         "' (expected prom, json, or traces)";
+}
+
+bool is_control_request(const std::string& text) {
+  return text == "ping" || text == "stats" || text == "shutdown" ||
+         text == "reload" || text == "metrics" ||
+         text.rfind("metrics ", 0) == 0;
+}
+
+}  // namespace gsb::service

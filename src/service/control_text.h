@@ -1,0 +1,51 @@
+#ifndef GSB_SERVICE_CONTROL_TEXT_H
+#define GSB_SERVICE_CONTROL_TEXT_H
+
+/// Control-plane response text shared by every serve transport.
+///
+/// The Unix/stream loop and the TCP event loop used to hand-roll their
+/// own `ok stats: ...` lines, which drifted.  Both now feed a StatsFields
+/// through render_stats_line (existing keys and their order preserved;
+/// uptime_seconds and rss_bytes appended), and both answer the `metrics`
+/// control request through metrics_response.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gsb::service {
+
+class ResultCache;
+
+struct StatsFields {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// TCP-only fields; emitted when set so the Unix loop's key set is
+  /// unchanged.
+  std::optional<std::uint64_t> connections;
+  std::optional<std::uint64_t> busy;
+  std::uint64_t accept_errors = 0;
+  int backlog = 0;
+  std::optional<std::uint64_t> epoch;
+  const ResultCache* cache = nullptr;
+};
+
+/// `ok stats: requests=... [connections=... busy=...] accept_errors=...
+/// backlog=... [epoch=...] uptime_seconds=... rss_bytes=...
+/// [cache_entries=... cache_bytes=...]`
+std::string render_stats_line(const StatsFields& fields);
+
+/// Answers `metrics` / `metrics prom` / `metrics json` / `metrics traces`
+/// (single-line responses; Prometheus text is newline-escaped — see
+/// obs/exposition.h).  nullopt when `request` is not a metrics request;
+/// an error line when the registry is disabled or the format is unknown.
+std::optional<std::string> metrics_response(const std::string& request);
+
+/// True for requests a serve loop answers inline without an engine
+/// (ping/stats/shutdown/reload and the metrics family).
+bool is_control_request(const std::string& text);
+
+}  // namespace gsb::service
+
+#endif  // GSB_SERVICE_CONTROL_TEXT_H

@@ -1,12 +1,15 @@
 #include "service/query_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "analysis/hubs.h"
 #include "analysis/paraclique.h"
 #include "graph/transforms.h"
+#include "obs/metrics.h"
 #include "storage/clique_stream.h"
+#include "util/timer.h"
 
 namespace gsb::service {
 namespace {
@@ -46,14 +49,68 @@ graph::VertexId QueryEngine::stored_operand(graph::VertexId original) const {
   return entry_->to_stored(original);
 }
 
+namespace {
+
+/// Engine-level series: per-kind execution latency plus the access-path
+/// counters (index hit vs stream rescan, records decoded).
+struct EngineMetrics {
+  std::array<obs::Histogram,
+             static_cast<std::size_t>(QueryKind::kTopHubs) + 1>
+      execute_micros;
+  obs::Counter index_queries;
+  obs::Counter stream_scans;
+  obs::Counter records_decoded;
+};
+
+const EngineMetrics& engine_metrics() {
+  static const EngineMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    EngineMetrics m;
+    for (std::size_t k = 0; k < m.execute_micros.size(); ++k) {
+      m.execute_micros[k] = registry.histogram(
+          "gsb_query_execute_microseconds",
+          "Engine execution latency per query type (cache misses only).",
+          std::string("type=\"") +
+              query_kind_name(static_cast<QueryKind>(k)) + "\"");
+    }
+    m.index_queries = registry.counter(
+        "gsb_index_queries_total",
+        "cliques-containing answered through the .gsbci index.");
+    m.stream_scans = registry.counter(
+        "gsb_stream_scans_total",
+        "cliques-containing answered by a full .gsbc rescan.");
+    m.records_decoded = registry.counter(
+        "gsb_clique_records_decoded_total",
+        "Clique records decoded while answering queries.");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
 std::string QueryEngine::execute(const Query& query) {
   ++stats_.executed;
+  const EngineMetrics& metrics = engine_metrics();
+  const bool instrumented = obs::MetricsRegistry::global().enabled();
+  util::Timer timer;
+  const QueryEngineStats before = stats_;
+  std::string response;
   try {
-    return dispatch(query);
+    response = dispatch(query);
   } catch (const std::exception& error) {
     ++stats_.errors;
-    return "error: '" + canonical_query(query) + "': " + error.what();
+    response = "error: '" + canonical_query(query) + "': " + error.what();
   }
+  if (instrumented) {
+    metrics.execute_micros[static_cast<std::size_t>(query.kind)]
+        .observe_micros(static_cast<std::uint64_t>(timer.micros()));
+    metrics.index_queries.inc(stats_.index_queries - before.index_queries);
+    metrics.stream_scans.inc(stats_.stream_scans - before.stream_scans);
+    metrics.records_decoded.inc(stats_.records_decoded -
+                                before.records_decoded);
+  }
+  return response;
 }
 
 std::string QueryEngine::execute_line(const std::string& line) {

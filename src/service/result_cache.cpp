@@ -1,13 +1,71 @@
 #include "service/result_cache.h"
 
+#include <atomic>
+
+#include "obs/metrics.h"
+
 namespace gsb::service {
+
+namespace {
+
+/// Event-time counters shared by every cache instance; the per-instance
+/// collector below carries the instance-scoped level gauges.
+struct CacheMetrics {
+  obs::Counter insertions;
+  obs::Counter evictions;
+};
+
+const CacheMetrics& cache_metrics() {
+  static const CacheMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    CacheMetrics m;
+    m.insertions = registry.counter("gsb_cache_insertions_total",
+                                    "Result-cache entries inserted.");
+    m.evictions = registry.counter(
+        "gsb_cache_evictions_total",
+        "Result-cache entries evicted to hold the byte budget.");
+    return m;
+  }();
+  return metrics;
+}
+
+std::uint64_t next_cache_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 ResultCache::ResultCache(std::size_t byte_budget, util::MemoryTracker* tracker)
     : budget_(byte_budget),
       tracker_(tracker != nullptr ? *tracker
-                                  : util::global_memory_tracker()) {}
+                                  : util::global_memory_tracker()) {
+  const std::string labels =
+      "cache=\"" + std::to_string(next_cache_id()) + "\"";
+  collector_id_ = obs::MetricsRegistry::global().add_collector(
+      [this, labels](obs::RegistrySnapshot& out) {
+        const Stats snapshot = stats();
+        obs::MetricSnapshot bytes;
+        bytes.name = "gsb_cache_bytes";
+        bytes.help = "Accounted bytes held by a result cache.";
+        bytes.labels = labels;
+        bytes.type = obs::MetricType::kGauge;
+        bytes.value = snapshot.bytes;
+        out.metrics.push_back(std::move(bytes));
+        obs::MetricSnapshot entries;
+        entries.name = "gsb_cache_entries";
+        entries.help = "Entries held by a result cache.";
+        entries.labels = labels;
+        entries.type = obs::MetricType::kGauge;
+        entries.value = snapshot.entries;
+        out.metrics.push_back(std::move(entries));
+      });
+}
 
-ResultCache::~ResultCache() { clear(); }
+ResultCache::~ResultCache() {
+  obs::MetricsRegistry::global().remove_collector(collector_id_);
+  clear();
+}
 
 std::optional<std::string> ResultCache::lookup(std::uint64_t epoch,
                                                const std::string& canonical) {
@@ -43,12 +101,14 @@ void ResultCache::insert(std::uint64_t epoch, const std::string& canonical,
   while (stats_.bytes + incoming > budget_ && !lru_.empty()) {
     drop(std::prev(lru_.end()));
     ++stats_.evictions;
+    cache_metrics().evictions.inc();
   }
   lru_.push_front(Entry{key, result});
   map_.emplace(lru_.front().key, lru_.begin());
   tracker_.allocate(incoming, util::MemTag::kResultCache);
   stats_.bytes += incoming;
   ++stats_.insertions;
+  cache_metrics().insertions.inc();
 }
 
 void ResultCache::clear() {

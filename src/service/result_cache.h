@@ -86,6 +86,10 @@ class ResultCache {
 
   const std::size_t budget_;
   util::MemoryTracker& tracker_;
+  /// Registry collector sampling this cache's bytes/entries gauges at
+  /// scrape; removed in the destructor.  Destroy the cache only after
+  /// concurrent scrapes have quiesced (the serve loops have exited).
+  std::size_t collector_id_ = 0;
 
   mutable std::mutex mutex_;
   EntryList lru_;  ///< front = most recent

@@ -10,6 +10,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/control_text.h"
+#include "util/timer.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define GSB_HAVE_UNIX_SOCKETS 1
 #include <cerrno>
@@ -56,7 +61,8 @@ std::string trimmed(const std::string& line) {
   return line.substr(begin, end - begin + 1);
 }
 
-/// Handles `ping` / `stats` / `shutdown`; nullopt for ordinary queries.
+/// Handles `ping` / `stats` / `metrics ...` / `shutdown`; nullopt for
+/// ordinary queries.
 std::optional<std::string> control_response(ServeState& state,
                                             const std::string& request) {
   if (request == "ping") return std::string("ok pong");
@@ -65,24 +71,61 @@ std::optional<std::string> control_response(ServeState& state,
     return std::string("ok shutdown");
   }
   if (request == "stats") {
-    std::string out =
-        "ok stats: requests=" +
-        std::to_string(state.requests.load(std::memory_order_relaxed)) +
-        " cache_hits=" +
-        std::to_string(state.cache_hits.load(std::memory_order_relaxed)) +
-        " cache_misses=" +
-        std::to_string(state.cache_misses.load(std::memory_order_relaxed)) +
-        " accept_errors=" +
-        std::to_string(state.accept_errors.load(std::memory_order_relaxed)) +
-        " backlog=" + std::to_string(state.listen_backlog);
-    if (state.cache != nullptr) {
-      const auto cache_stats = state.cache->stats();
-      out += " cache_entries=" + std::to_string(cache_stats.entries) +
-             " cache_bytes=" + std::to_string(cache_stats.bytes);
-    }
-    return out;
+    StatsFields fields;
+    fields.requests = state.requests.load(std::memory_order_relaxed);
+    fields.cache_hits = state.cache_hits.load(std::memory_order_relaxed);
+    fields.cache_misses = state.cache_misses.load(std::memory_order_relaxed);
+    fields.accept_errors =
+        state.accept_errors.load(std::memory_order_relaxed);
+    fields.backlog = state.listen_backlog;
+    fields.cache = state.cache;
+    return render_stats_line(fields);
   }
-  return std::nullopt;
+  return metrics_response(request);
+}
+
+/// Per-transport counters on the global registry; inert until the
+/// registry is enabled.
+struct TransportMetrics {
+  obs::Counter requests;
+  obs::Counter connections;
+  obs::Counter accept_errors;
+  obs::Counter bytes_in;
+  obs::Counter bytes_out;
+  obs::Histogram socket_write;
+};
+
+TransportMetrics make_transport_metrics(const char* transport) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::string labels =
+      std::string("transport=\"") + transport + "\"";
+  TransportMetrics m;
+  m.requests = registry.counter("gsb_requests_total",
+                                "Requests received per transport.", labels);
+  m.connections = registry.counter(
+      "gsb_connections_total", "Connections accepted per transport.", labels);
+  m.accept_errors = registry.counter(
+      "gsb_accept_errors_total", "Failed accept() calls per transport.",
+      labels);
+  m.bytes_in = registry.counter("gsb_bytes_read_total",
+                                "Request bytes read per transport.", labels);
+  m.bytes_out = registry.counter(
+      "gsb_bytes_written_total", "Response bytes written per transport.",
+      labels);
+  m.socket_write = registry.histogram(
+      "gsb_socket_write_microseconds",
+      "Time spent writing responses to the socket.", labels);
+  return m;
+}
+
+const TransportMetrics& stream_metrics() {
+  static const TransportMetrics metrics = make_transport_metrics("stream");
+  return metrics;
+}
+
+const TransportMetrics& unix_metrics() {
+  static const TransportMetrics metrics = make_transport_metrics("unix");
+  return metrics;
 }
 
 }  // namespace
@@ -133,9 +176,13 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
         for (std::size_t i = begin; i < end; ++i) {
           const std::uint64_t h0 = session_hits;
           const std::uint64_t m0 = session_misses;
-          out << execute_cached_line(session_engine, options.cache, group[i],
-                                     session_hits, session_misses)
-              << '\n';
+          {
+            obs::TraceScope trace(obs::Tracer::global(), "stream", group[i]);
+            out << execute_cached_line(session_engine, options.cache,
+                                       group[i], session_hits,
+                                       session_misses)
+                << '\n';
+          }
           state.cache_hits.fetch_add(session_hits - h0,
                                      std::memory_order_relaxed);
           state.cache_misses.fetch_add(session_misses - m0,
@@ -173,6 +220,7 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
         continue;
       }
       state.requests.fetch_add(1, std::memory_order_relaxed);
+      stream_metrics().requests.inc();
       ++stats.requests;
       if (const auto control = control_response(state, request)) {
         // Everything queued before the control line answers first.
@@ -224,10 +272,13 @@ void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
   char chunk[4096];
   bool write_ok = true;   // a failed write aborts the connection
   bool closing = false;   // shutdown seen: drain what is buffered, close
+  const TransportMetrics& metrics = unix_metrics();
   auto answer = [&](const std::string& request) {
     if (request.empty() || !write_ok) return;
     ++requests;
     state.requests.fetch_add(1, std::memory_order_relaxed);
+    metrics.requests.inc();
+    obs::TraceScope trace(obs::Tracer::global(), "unix", request);
     std::string response;
     if (const auto control = control_response(state, request)) {
       response = *control;
@@ -236,7 +287,20 @@ void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
       response =
           execute_cached_line(engine, state.cache, request, hits, misses);
     }
-    write_ok = write_all(fd, response + '\n');
+    std::string payload;
+    {
+      obs::SpanTimer serialize(obs::Span::kSerialize);
+      payload = std::move(response);
+      payload.push_back('\n');
+    }
+    util::Timer write_timer;
+    {
+      obs::SpanTimer span(obs::Span::kSocketWrite);
+      write_ok = write_all(fd, payload);
+    }
+    metrics.socket_write.observe_micros(
+        static_cast<std::uint64_t>(write_timer.micros()));
+    metrics.bytes_out.inc(payload.size());
   };
   while (write_ok && !closing) {
     struct pollfd poller{fd, POLLIN, 0};
@@ -258,6 +322,7 @@ void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
       break;
     }
     pending.append(chunk, static_cast<std::size_t>(n));
+    metrics.bytes_in.inc(static_cast<std::uint64_t>(n));
     // Answer every complete buffered line — including lines received
     // after a `shutdown` in the same read, matching the stream
     // transport's drain-then-stop contract.
@@ -367,9 +432,11 @@ ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry> entry,
       if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK &&
           errno != ECONNABORTED) {
         state.accept_errors.fetch_add(1, std::memory_order_relaxed);
+        unix_metrics().accept_errors.inc();
       }
       continue;
     }
+    unix_metrics().connections.inc();
     {
       std::lock_guard<std::mutex> lock(stats_mutex);
       ++stats.connections;

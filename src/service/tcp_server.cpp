@@ -16,6 +16,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -23,7 +24,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "service/control_text.h"
+#include "util/timer.h"
 
 namespace gsb::service {
 namespace {
@@ -40,9 +45,60 @@ std::string trimmed(const std::string& line) {
   return line.substr(begin, end - begin + 1);
 }
 
-bool is_control(const std::string& text) {
-  return text == "ping" || text == "stats" || text == "shutdown" ||
-         text == "reload";
+/// The TCP event loop's counters on the global registry; inert until the
+/// registry is enabled.  The epoll wakeup counter ticks on idle timeouts
+/// too — a healthy idle server shows ~5/s, a hot one shows wakeups
+/// tracking request bursts.
+struct LoopMetrics {
+  obs::Counter requests;
+  obs::Counter connections;
+  obs::Counter accept_errors;
+  obs::Counter bytes_in;
+  obs::Counter bytes_out;
+  obs::Counter busy_rejections;
+  obs::Counter protocol_errors;
+  obs::Counter disconnects;
+  obs::Counter reloads;
+  obs::Counter epoll_wakeups;
+  obs::Histogram socket_write;
+};
+
+const LoopMetrics& loop_metrics() {
+  static const LoopMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    const std::string labels = "transport=\"tcp\"";
+    LoopMetrics m;
+    m.requests = registry.counter("gsb_requests_total",
+                                  "Requests received per transport.", labels);
+    m.connections =
+        registry.counter("gsb_connections_total",
+                         "Connections accepted per transport.", labels);
+    m.accept_errors = registry.counter(
+        "gsb_accept_errors_total", "Failed accept() calls per transport.",
+        labels);
+    m.bytes_in = registry.counter(
+        "gsb_bytes_read_total", "Request bytes read per transport.", labels);
+    m.bytes_out = registry.counter(
+        "gsb_bytes_written_total", "Response bytes written per transport.",
+        labels);
+    m.busy_rejections = registry.counter(
+        "gsb_busy_rejections_total",
+        "Requests answered `busy:` by admission control.");
+    m.protocol_errors = registry.counter(
+        "gsb_protocol_errors_total", "Malformed binary-protocol frames.");
+    m.disconnects = registry.counter(
+        "gsb_disconnects_total", "Connections dropped mid-session.");
+    m.reloads = registry.counter("gsb_reloads_total",
+                                 "Successful catalog hot reloads.");
+    m.epoll_wakeups = registry.counter(
+        "gsb_epoll_wakeups_total",
+        "Event-loop wakeups (events ready or idle timeout).");
+    m.socket_write = registry.histogram(
+        "gsb_socket_write_microseconds",
+        "Time spent writing responses to the socket.", labels);
+    return m;
+  }();
+  return metrics;
 }
 
 /// One queued request: a query awaiting a worker, a control request
@@ -80,6 +136,7 @@ struct Job {
   std::uint64_t id = 0;
   std::string text;
   std::shared_ptr<const GraphEntry> entry;
+  std::chrono::steady_clock::time_point enqueued;
 };
 
 struct Completion {
@@ -134,6 +191,7 @@ class Loop {
       if (ready < 0 && errno != EINTR) {
         throw std::runtime_error("serve: epoll_wait failed");
       }
+      metrics_.epoll_wakeups.inc();
       for (int i = 0; i < std::max(ready, 0); ++i) {
         const int fd = events[i].data.fd;
         if (fd == listen_fd_) {
@@ -212,6 +270,7 @@ class Loop {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         ++stats_.accept_errors;
+        metrics_.accept_errors.inc();
         break;
       }
       const int one = 1;
@@ -220,6 +279,7 @@ class Loop {
       conn->fd = fd;
       conns_.emplace(fd, conn);
       ++stats_.connections;
+      metrics_.connections.inc();
       add_fd(fd, EPOLLIN);
     }
   }
@@ -239,6 +299,7 @@ class Loop {
 
   void disconnect(const std::shared_ptr<Conn>& conn) {
     ++stats_.disconnects;
+    metrics_.disconnects.inc();
     drop(conn);
   }
 
@@ -285,6 +346,7 @@ class Loop {
       }
       conn->in.append(buf, static_cast<std::size_t>(n));
       total += static_cast<std::size_t>(n);
+      metrics_.bytes_in.inc(static_cast<std::uint64_t>(n));
     }
     parse(conn);
     if (conn->dead) return;
@@ -344,6 +406,7 @@ class Loop {
 
   void protocol_error(const std::shared_ptr<Conn>& conn) {
     ++stats_.protocol_errors;
+    metrics_.protocol_errors.inc();
     respond(conn, 0, "error: malformed frame");
     conn->fatal = true;  // flush what is queued on the wire, then close
     conn->queue.clear();
@@ -356,7 +419,8 @@ class Loop {
   void enqueue_text(const std::shared_ptr<Conn>& conn, std::uint64_t id,
                     std::string text) {
     ++stats_.requests;
-    if (is_control(text)) {
+    metrics_.requests.inc();
+    if (is_control_request(text)) {
       Pending p;
       p.kind = Pending::Kind::kControl;
       p.id = id;
@@ -370,11 +434,13 @@ class Loop {
     }
     if (conn->queue.size() >= options_.max_pipeline) {
       ++stats_.busy_rejections;
+      metrics_.busy_rejections.inc();
       enqueue_ready(conn, id, "busy: pipeline limit reached");
       return;
     }
     if (conn->out.size() >= options_.max_inflight_bytes) {
       ++stats_.busy_rejections;
+      metrics_.busy_rejections.inc();
       enqueue_ready(conn, id, "busy: in-flight byte budget exceeded");
       return;
     }
@@ -424,6 +490,7 @@ class Loop {
           job.id = item.id;
           job.text = std::move(item.text);
           job.entry = entry_;
+          job.enqueued = std::chrono::steady_clock::now();
           {
             std::lock_guard<std::mutex> lock(jobs_mutex_);
             jobs_.push_back(std::move(job));
@@ -460,33 +527,33 @@ class Loop {
         if (fresh == nullptr) return "error: reload unavailable";
         entry_ = std::move(fresh);
         ++stats_.reloads;
+        metrics_.reloads.inc();
         return "ok reload epoch=" + std::to_string(entry_->epoch());
       } catch (const std::exception& error) {
         return std::string("error: reload failed: ") + error.what();
       }
     }
+    if (const auto metrics = metrics_response(request)) return *metrics;
     // stats
-    std::string out =
-        "ok stats: requests=" + std::to_string(stats_.requests) +
-        " cache_hits=" + std::to_string(stats_.cache_hits) +
-        " cache_misses=" + std::to_string(stats_.cache_misses) +
-        " connections=" + std::to_string(stats_.connections) +
-        " busy=" + std::to_string(stats_.busy_rejections) +
-        " accept_errors=" + std::to_string(stats_.accept_errors) +
-        " backlog=" + std::to_string(SOMAXCONN) +
-        " epoch=" + std::to_string(entry_->epoch());
-    if (options_.cache != nullptr) {
-      const auto cache_stats = options_.cache->stats();
-      out += " cache_entries=" + std::to_string(cache_stats.entries) +
-             " cache_bytes=" + std::to_string(cache_stats.bytes);
-    }
-    return out;
+    StatsFields fields;
+    fields.requests = stats_.requests;
+    fields.cache_hits = stats_.cache_hits;
+    fields.cache_misses = stats_.cache_misses;
+    fields.connections = stats_.connections;
+    fields.busy = stats_.busy_rejections;
+    fields.accept_errors = stats_.accept_errors;
+    fields.backlog = SOMAXCONN;
+    fields.epoch = entry_->epoch();
+    fields.cache = options_.cache;
+    return render_stats_line(fields);
   }
 
   // --- writing --------------------------------------------------------------
 
   void flush_out(const std::shared_ptr<Conn>& conn) {
     if (conn->dead) return;
+    util::Timer write_timer;
+    std::uint64_t sent_bytes = 0;
     while (!conn->out.empty()) {
       const std::size_t chunk = std::min(conn->out.size(), kMaxSendPerCall);
       const ssize_t n =
@@ -494,10 +561,17 @@ class Loop {
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        metrics_.bytes_out.inc(sent_bytes);
         disconnect(conn);  // EPIPE/ECONNRESET: client left mid-response
         return;
       }
       conn->out.erase(0, static_cast<std::size_t>(n));
+      sent_bytes += static_cast<std::uint64_t>(n);
+    }
+    if (sent_bytes > 0) {
+      metrics_.bytes_out.inc(sent_bytes);
+      metrics_.socket_write.observe_micros(
+          static_cast<std::uint64_t>(write_timer.micros()));
     }
     update_interest(conn);
   }
@@ -571,9 +645,22 @@ class Loop {
       }
       Completion completion;
       completion.id = job.id;
-      completion.response = execute_cached_line(
-          *conn.engine, options_.cache, job.text, completion.hits,
-          completion.misses);
+      {
+        // Trace the worker-side request lifetime; queue wait (dispatch to
+        // pickup) is attributed explicitly since it predates the scope.
+        obs::TraceScope trace(obs::Tracer::global(), "tcp", job.text);
+        if (trace.active()) {
+          const auto waited =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - job.enqueued)
+                  .count();
+          trace.add_pre_span(obs::Span::kQueueWait,
+                             static_cast<std::uint64_t>(waited));
+        }
+        completion.response = execute_cached_line(
+            *conn.engine, options_.cache, job.text, completion.hits,
+            completion.misses);
+      }
       completion.conn = std::move(job.conn);
       {
         std::lock_guard<std::mutex> lock(completion_mutex_);
@@ -606,6 +693,7 @@ class Loop {
   std::uint64_t inflight_jobs_ = 0;
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;
   TcpServeStats stats_;
+  const LoopMetrics& metrics_ = loop_metrics();
 
   std::vector<std::thread> workers_;
   std::mutex jobs_mutex_;

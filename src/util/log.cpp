@@ -34,12 +34,26 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+std::string format_log_line(LogLevel level, const std::string& message) {
+  std::string line = prefix(level);
+  line += ' ';
+  line += message;
+  line += '\n';
+  return line;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
+  // Format first, then emit the whole line with one write: fprintf with
+  // multiple conversions may reach unbuffered stderr in fragments, so
+  // concurrent callers could interleave mid-line even under the mutex
+  // (which only serializes in-process callers, not the fragments another
+  // fd writer slots between).
+  const std::string line = format_log_line(level, message);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "%s %s\n", prefix(level), message.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void log_debug(const std::string& message) {

@@ -4,6 +4,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 namespace gsb::util {
@@ -68,6 +69,24 @@ std::size_t process_peak_rss_bytes() noexcept {
 #else
   return 0;
 #endif
+}
+
+std::size_t process_current_rss_bytes() noexcept {
+#if defined(__linux__)
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    unsigned long size_pages = 0;
+    unsigned long resident_pages = 0;
+    const int matched =
+        std::fscanf(statm, "%lu %lu", &size_pages, &resident_pages);
+    std::fclose(statm);
+    if (matched == 2) {
+      const long page = sysconf(_SC_PAGESIZE);
+      return static_cast<std::size_t>(resident_pages) *
+             static_cast<std::size_t>(page > 0 ? page : 4096);
+    }
+  }
+#endif
+  return process_peak_rss_bytes();
 }
 
 ByteString format_bytes(std::size_t bytes) noexcept {

@@ -111,6 +111,11 @@ class ScopedAllocation {
 /// number an out-of-core run quotes to demonstrate bounded memory.
 std::size_t process_peak_rss_bytes() noexcept;
 
+/// Current resident set size in bytes (/proc/self/statm on Linux), or
+/// the peak RSS where instantaneous residency is unavailable.  Feeds the
+/// `rss_bytes` stats field and the gsb_process_rss_bytes gauge.
+std::size_t process_current_rss_bytes() noexcept;
+
 /// Formats a byte count as a human-readable string ("12.3 MB").
 /// Returns a small fixed-capacity buffer by value.
 struct ByteString {

@@ -100,6 +100,7 @@ TEST(CliDocs, ReadmeLinksTheDocSet) {
   EXPECT_NE(readme.find("docs/ARCHITECTURE.md"), std::string::npos);
   EXPECT_NE(readme.find("docs/CLI.md"), std::string::npos);
   EXPECT_NE(readme.find("docs/FORMATS.md"), std::string::npos);
+  EXPECT_NE(readme.find("docs/OBSERVABILITY.md"), std::string::npos);
   EXPECT_NE(readme.find("docs/PERFORMANCE.md"), std::string::npos);
   EXPECT_NE(readme.find("docs/SERVICE.md"), std::string::npos);
 }

@@ -1,0 +1,380 @@
+// Tests for the observability subsystem: sharded metrics registry,
+// latency histograms, trace retention, and the exposition formats.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gsb::obs {
+namespace {
+
+/// A registry of its own per test: the global registry is shared process
+/// state and other suites may be incrementing it.
+class ObsRegistryTest : public ::testing::Test {
+ protected:
+  ObsRegistryTest() { registry_.set_enabled(true); }
+  MetricsRegistry registry_;
+};
+
+std::uint64_t find_value(const RegistrySnapshot& snapshot,
+                         const std::string& name,
+                         const std::string& labels = {}) {
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (metric.name == name && metric.labels == labels) return metric.value;
+  }
+  ADD_FAILURE() << "metric not found: " << name << " {" << labels << "}";
+  return 0;
+}
+
+const MetricSnapshot* find_metric(const RegistrySnapshot& snapshot,
+                                  const std::string& name,
+                                  const std::string& labels = {}) {
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (metric.name == name && metric.labels == labels) return &metric;
+  }
+  return nullptr;
+}
+
+TEST_F(ObsRegistryTest, CountersMergeAcrossThreads) {
+  const Counter counter = registry_.counter("test_total", "help");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(find_value(registry_.scrape(), "test_total"),
+            kThreads * kPerThread);
+}
+
+TEST_F(ObsRegistryTest, ScrapeUnderLoadSeesConsistentCounts) {
+  // A scrape concurrent with writers must return a value between zero and
+  // the final total (shard merging never double-counts or loses).
+  const Counter counter = registry_.counter("load_total", "help");
+  constexpr std::uint64_t kTotal = 50'000;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; i < kTotal; ++i) counter.inc();
+    done.store(true);
+  });
+  std::uint64_t last = 0;
+  while (!done.load()) {
+    const std::uint64_t now = find_value(registry_.scrape(), "load_total");
+    EXPECT_GE(now, last);  // monotone across scrapes
+    EXPECT_LE(now, kTotal);
+    last = now;
+  }
+  writer.join();
+  EXPECT_EQ(find_value(registry_.scrape(), "load_total"), kTotal);
+}
+
+TEST_F(ObsRegistryTest, GaugeSetAndSetMax) {
+  const Gauge gauge = registry_.gauge("test_gauge", "help");
+  gauge.set(42);
+  EXPECT_EQ(find_value(registry_.scrape(), "test_gauge"), 42u);
+  gauge.set_max(17);  // below current: no change
+  EXPECT_EQ(find_value(registry_.scrape(), "test_gauge"), 42u);
+  gauge.set_max(99);
+  EXPECT_EQ(find_value(registry_.scrape(), "test_gauge"), 99u);
+}
+
+TEST_F(ObsRegistryTest, HistogramBucketBoundaries) {
+  const Histogram histogram = registry_.histogram("test_micros", "help");
+  // Bucket i has bound 2^i: observe exact bounds and bounds+1.
+  histogram.observe_micros(0);   // -> bucket 0 (bound 1)
+  histogram.observe_micros(1);   // -> bucket 0
+  histogram.observe_micros(2);   // -> bucket 1 (bound 2)
+  histogram.observe_micros(3);   // -> bucket 2 (bound 4)
+  histogram.observe_micros(4);   // -> bucket 2
+  histogram.observe_micros(5);   // -> bucket 3 (bound 8)
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  histogram.observe_micros(huge);  // -> +Inf overflow
+  const MetricSnapshot* metric =
+      find_metric(registry_.scrape(), "test_micros");
+  ASSERT_NE(metric, nullptr);
+  const HistogramSnapshot& h = metric->histogram;
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_EQ(h.buckets[kHistogramBuckets], 1u);
+  EXPECT_EQ(h.count, 7u);
+  EXPECT_EQ(h.sum_micros, 0u + 1 + 2 + 3 + 4 + 5 + huge);
+}
+
+TEST_F(ObsRegistryTest, RegistrationDedupesAndChecksType) {
+  const Counter a = registry_.counter("dup_total", "help");
+  const Counter b = registry_.counter("dup_total", "help");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(find_value(registry_.scrape(), "dup_total"), 2u);
+  // Same name, different labels: distinct series.
+  const Counter labelled =
+      registry_.counter("dup_total", "help", "kind=\"x\"");
+  labelled.inc(5);
+  EXPECT_EQ(find_value(registry_.scrape(), "dup_total"), 2u);
+  EXPECT_EQ(find_value(registry_.scrape(), "dup_total", "kind=\"x\""), 5u);
+  // Same name+labels, different type: programming error.
+  EXPECT_THROW(registry_.gauge("dup_total", "help"), std::logic_error);
+}
+
+TEST_F(ObsRegistryTest, DisabledRegistryIgnoresWrites) {
+  const Counter counter = registry_.counter("off_total", "help");
+  registry_.set_enabled(false);
+  counter.inc(100);
+  registry_.set_enabled(true);
+  EXPECT_EQ(find_value(registry_.scrape(), "off_total"), 0u);
+  counter.inc();
+  EXPECT_EQ(find_value(registry_.scrape(), "off_total"), 1u);
+}
+
+TEST_F(ObsRegistryTest, InertHandlesAreSafe) {
+  const Counter counter;
+  const Gauge gauge;
+  const Histogram histogram;
+  counter.inc();
+  gauge.set(1);
+  gauge.set_max(2);
+  histogram.observe_micros(3);  // no crash, no effect
+}
+
+TEST_F(ObsRegistryTest, CollectorsRunAtScrapeAndAreRemovable) {
+  const std::size_t id = registry_.add_collector([](RegistrySnapshot& out) {
+    MetricSnapshot metric;
+    metric.name = "sampled_gauge";
+    metric.type = MetricType::kGauge;
+    metric.value = 7;
+    out.metrics.push_back(std::move(metric));
+  });
+  EXPECT_EQ(find_value(registry_.scrape(), "sampled_gauge"), 7u);
+  registry_.remove_collector(id);
+  EXPECT_EQ(find_metric(registry_.scrape(), "sampled_gauge"), nullptr);
+}
+
+TEST_F(ObsRegistryTest, ResetZeroesEverything) {
+  const Counter counter = registry_.counter("reset_total", "help");
+  const Gauge gauge = registry_.gauge("reset_gauge", "help");
+  counter.inc(3);
+  gauge.set(9);
+  registry_.reset();
+  EXPECT_EQ(find_value(registry_.scrape(), "reset_total"), 0u);
+  EXPECT_EQ(find_value(registry_.scrape(), "reset_gauge"), 0u);
+}
+
+// ---- Prometheus exposition grammar ---------------------------------------
+
+TEST_F(ObsRegistryTest, PrometheusGrammarAndCumulativeBuckets) {
+  registry_.counter("gsb_things_total", "Things.", "type=\"a\"").inc(2);
+  registry_.counter("gsb_things_total", "Things.", "type=\"b\"").inc(3);
+  registry_.gauge("gsb_level", "A level.").set(5);
+  const Histogram histogram =
+      registry_.histogram("gsb_lat_micros", "Latency.");
+  histogram.observe_micros(1);
+  histogram.observe_micros(100);
+  histogram.observe_micros(std::uint64_t{1} << 40);
+  const std::string text = render_prometheus(registry_.scrape());
+
+  // Every non-comment line matches the exposition line grammar.
+  const std::regex line_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^"]*\")*\})? [0-9]+(\.[0-9]+)?$)");
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t help_lines = 0;
+  std::size_t type_lines = 0;
+  while (std::getline(stream, line)) {
+    if (line.rfind("# HELP ", 0) == 0) {
+      ++help_lines;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++type_lines;
+      continue;
+    }
+    EXPECT_TRUE(std::regex_match(line, line_re)) << "bad line: " << line;
+  }
+  // One HELP/TYPE pair per family, not per labelled series.
+  EXPECT_EQ(help_lines, type_lines);
+  EXPECT_NE(text.find("# TYPE gsb_things_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsb_things_total{type=\"a\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gsb_level gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gsb_lat_micros histogram\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE gsb_things_total counter",
+                      text.find("# TYPE gsb_things_total counter") + 1),
+            std::string::npos)
+      << "HELP/TYPE emitted once per family";
+
+  // Cumulative buckets: monotone nondecreasing, +Inf last and equal to
+  // _count.
+  std::istringstream bucket_stream(text);
+  std::uint64_t previous = 0;
+  std::uint64_t inf_value = 0;
+  std::uint64_t count_value = 0;
+  bool saw_inf = false;
+  while (std::getline(bucket_stream, line)) {
+    if (line.rfind("gsb_lat_micros_bucket{", 0) == 0) {
+      const std::uint64_t value =
+          std::stoull(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(value, previous) << "buckets must be cumulative: " << line;
+      previous = value;
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        saw_inf = true;
+        inf_value = value;
+      } else {
+        EXPECT_FALSE(saw_inf) << "+Inf must be the last bucket";
+      }
+    } else if (line.rfind("gsb_lat_micros_count ", 0) == 0) {
+      count_value = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(inf_value, 3u);
+  EXPECT_EQ(count_value, 3u);
+  EXPECT_NE(text.find("gsb_lat_micros_sum "), std::string::npos);
+}
+
+TEST_F(ObsRegistryTest, JsonRendersSingleLineWithFamilies) {
+  registry_.counter("gsb_a_total", "A.").inc(4);
+  registry_.gauge("gsb_b", "B.").set(6);
+  registry_.histogram("gsb_c_micros", "C.").observe_micros(10);
+  const std::string json = render_json(registry_.scrape());
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"gsb_a_total\""), std::string::npos);
+}
+
+TEST(Exposition, EscapeMultilineRoundTrip) {
+  const std::string original = "line one\nline \\two\\\n\\n not a newline\n";
+  const std::string escaped = escape_multiline(original);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(unescape_multiline(escaped), original);
+  EXPECT_EQ(unescape_multiline(escape_multiline("")), "");
+  EXPECT_EQ(unescape_multiline(escape_multiline("\\\\\n\n")), "\\\\\n\n");
+}
+
+TEST(Exposition, JsonEscapeControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ---- Tracer ---------------------------------------------------------------
+
+Trace make_trace(std::uint64_t total) {
+  Trace trace;
+  trace.request = "neighbors " + std::to_string(total);
+  trace.transport = "test";
+  trace.total_micros = total;
+  trace.span_micros[static_cast<std::size_t>(Span::kExecute)] = total;
+  return trace;
+}
+
+TEST(Tracer, RetainsSlowestN) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_capacity(4);
+  for (std::uint64_t total = 1; total <= 10; ++total) {
+    tracer.complete(make_trace(total));
+  }
+  const std::vector<Trace> slowest = tracer.slowest();
+  ASSERT_EQ(slowest.size(), 4u);
+  EXPECT_EQ(slowest[0].total_micros, 10u);
+  EXPECT_EQ(slowest[1].total_micros, 9u);
+  EXPECT_EQ(slowest[2].total_micros, 8u);
+  EXPECT_EQ(slowest[3].total_micros, 7u);
+  EXPECT_EQ(tracer.retained(), 4u);
+  tracer.clear();
+  EXPECT_EQ(tracer.retained(), 0u);
+}
+
+TEST(Tracer, SlowLogThresholdCounts) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_slow_log_micros(100);
+  tracer.complete(make_trace(50));
+  EXPECT_EQ(tracer.slow_logged(), 0u);
+  tracer.complete(make_trace(100));
+  tracer.complete(make_trace(5000));
+  EXPECT_EQ(tracer.slow_logged(), 2u);
+}
+
+TEST(Tracer, TraceScopeFillsSpansAndTotal) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    TraceScope scope(tracer, "unix", "degree 3");
+    ASSERT_TRUE(scope.active());
+    ASSERT_NE(active_trace(), nullptr);
+    scope.add_pre_span(Span::kQueueWait, 250);
+    { SpanTimer timer(Span::kExecute); }
+  }
+  EXPECT_EQ(active_trace(), nullptr);
+  const std::vector<Trace> slowest = tracer.slowest();
+  ASSERT_EQ(slowest.size(), 1u);
+  const Trace& trace = slowest[0];
+  EXPECT_EQ(trace.request, "degree 3");
+  EXPECT_STREQ(trace.transport, "unix");
+  EXPECT_EQ(trace.span_micros[static_cast<std::size_t>(Span::kQueueWait)],
+            250u);
+  EXPECT_GE(trace.total_micros, 250u);  // pre-span counts into the total
+}
+
+TEST(Tracer, DisabledTracerMakesScopesInert) {
+  Tracer tracer;  // disabled by default
+  {
+    TraceScope scope(tracer, "unix", "ping");
+    EXPECT_FALSE(scope.active());
+    EXPECT_EQ(active_trace(), nullptr);
+  }
+  EXPECT_EQ(tracer.retained(), 0u);
+}
+
+TEST(Tracer, LongRequestsAreTruncated) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  const std::string request(1000, 'x');
+  { TraceScope scope(tracer, "tcp", request); }
+  const std::vector<Trace> slowest = tracer.slowest();
+  ASSERT_EQ(slowest.size(), 1u);
+  EXPECT_EQ(slowest[0].request.size(), Trace::kMaxRequestChars);
+}
+
+TEST(Tracer, RenderTracesJsonShape) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  Trace trace = make_trace(123);
+  trace.request = "say \"hi\"";
+  tracer.complete(std::move(trace));
+  const std::string json = render_traces_json(tracer.slowest());
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"total_micros\":123"), std::string::npos);
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"execute\":123"), std::string::npos);
+}
+
+TEST(Uptime, MonotoneNonNegative) {
+  anchor_process_start();
+  EXPECT_GE(process_uptime_seconds(), 0u);
+}
+
+}  // namespace
+}  // namespace gsb::obs

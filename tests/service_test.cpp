@@ -26,6 +26,9 @@
 #include "core/bron_kerbosch.h"
 #include "core/clique.h"
 #include "graph/transforms.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/batch_executor.h"
 #include "service/client.h"
 #include "service/clique_index.h"
@@ -120,6 +123,22 @@ std::vector<std::string> mixed_workload(const graph::Graph& g) {
   lines.push_back("degree 0");
   return lines;
 }
+
+/// Turns the global metrics registry and tracer on for one test and
+/// restores the disabled default on exit, so instrumentation state never
+/// leaks between tests.
+struct ScopedObservability {
+  ScopedObservability() {
+    obs::MetricsRegistry::global().set_enabled(true);
+    obs::Tracer::global().set_enabled(true);
+  }
+  ~ScopedObservability() {
+    obs::MetricsRegistry::global().set_enabled(false);
+    obs::Tracer::global().set_enabled(false);
+    obs::Tracer::global().set_slow_log_micros(0);
+    obs::Tracer::global().clear();
+  }
+};
 
 TEST(Query, ParsesAndCanonicalizes) {
   EXPECT_EQ(canonical_query(parse_query("  common-neighbors 9   2 ")),
@@ -495,6 +514,85 @@ TEST(Serve, StreamSessionIsByteReproducibleAcrossThreadCounts) {
   }
 }
 
+TEST(Serve, StreamSessionBytesAreIdenticalWithMetricsOnAndOff) {
+  // The instrumentation contract: enabling metrics and tracing changes no
+  // query response byte.  (The `stats` request is excluded — uptime and
+  // RSS are nondeterministic by design.)
+  const auto a = make_artifacts(36, 0.3, 31, "service_stream_obs");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+
+  std::string script = "ping\n";
+  for (const auto& line : mixed_workload(a.graph)) script += line + '\n';
+  script += "shutdown\n";
+
+  auto run = [&] {
+    std::istringstream in(script);
+    std::ostringstream out;
+    ServeOptions options;
+    options.threads = 2;
+    serve_stream(entry, in, out, options);
+    return out.str();
+  };
+  const std::string reference = run();
+  std::string instrumented;
+  {
+    ScopedObservability obs_on;
+    obs::Tracer::global().set_slow_log_micros(1);  // log every request too
+    instrumented = run();
+  }
+  EXPECT_EQ(instrumented, reference);
+}
+
+TEST(Serve, StreamStatsLineCarriesUptimeAndRss) {
+  const auto a = make_artifacts(24, 0.3, 37, "service_stream_stats");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  std::istringstream in("stats\nshutdown\n");
+  std::ostringstream out;
+  serve_stream(entry, in, out, {});
+  const std::string output = out.str();
+  EXPECT_NE(output.find("ok stats: requests="), std::string::npos) << output;
+  EXPECT_NE(output.find(" uptime_seconds="), std::string::npos) << output;
+  EXPECT_NE(output.find(" rss_bytes="), std::string::npos) << output;
+}
+
+TEST(Serve, MetricsRequestIsRejectedWhenDisabled) {
+  const auto a = make_artifacts(24, 0.3, 53, "service_stream_obs_off");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  std::istringstream in("metrics\nshutdown\n");
+  std::ostringstream out;
+  serve_stream(entry, in, out, {});
+  EXPECT_NE(out.str().find("error: metrics disabled (serve with --metrics)"),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(Serve, MetricsRequestRendersPromOverStream) {
+  ScopedObservability obs_on;
+  const auto a = make_artifacts(24, 0.3, 59, "service_stream_obs_on");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  std::istringstream in("degree 1\nmetrics\nmetrics json\nshutdown\n");
+  std::ostringstream out;
+  serve_stream(entry, in, out, {});
+  std::istringstream lines(out.str());
+  std::string degree_line, prom_line, json_line;
+  std::getline(lines, degree_line);
+  std::getline(lines, prom_line);
+  std::getline(lines, json_line);
+  ASSERT_TRUE(prom_line.starts_with("ok metrics prom ")) << prom_line;
+  const std::string text =
+      obs::unescape_multiline(prom_line.substr(sizeof("ok metrics prom ") - 1));
+  EXPECT_NE(text.find("# TYPE gsb_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("gsb_requests_total{transport=\"stream\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  ASSERT_TRUE(json_line.starts_with("ok metrics json {")) << json_line;
+  EXPECT_NE(json_line.find("\"counters\""), std::string::npos);
+}
+
 #if GSB_TEST_UNIX_SOCKETS
 TEST(Serve, UnixSocketSessionAnswersAndShutsDown) {
   const auto a = make_artifacts(32, 0.3, 29, "service_socket");
@@ -732,6 +830,48 @@ TEST(Serve, SignalsDuringBlockedIoDropNoResponses) {
   EXPECT_TRUE(stats.shutdown_requested);
   EXPECT_EQ(stats.requests, lines.size() + 1);
 }
+TEST(Serve, UnixSocketAnswersMetricsRequests) {
+  ScopedObservability obs_on;
+  const auto a = make_artifacts(28, 0.3, 67, "service_socket_obs");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  const std::string socket_path = temp_path("service_socket_obs.sock");
+  std::remove(socket_path.c_str());
+
+  ServeStats stats;
+  std::thread server([&] {
+    stats = serve_unix_socket(entry, socket_path, {});
+  });
+  const int fd = connect_unix_retrying(socket_path);
+  ASSERT_GE(fd, 0) << "could not connect to " << socket_path;
+  const std::string request = "degree 2\nmetrics prom\nmetrics json\nshutdown\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+
+  std::istringstream lines(response);
+  std::string degree_line, prom_line, json_line;
+  std::getline(lines, degree_line);
+  std::getline(lines, prom_line);
+  std::getline(lines, json_line);
+  ASSERT_TRUE(prom_line.starts_with("ok metrics prom ")) << prom_line;
+  const std::string text =
+      obs::unescape_multiline(prom_line.substr(sizeof("ok metrics prom ") - 1));
+  EXPECT_NE(text.find("gsb_requests_total{transport=\"unix\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsb_socket_write_microseconds_bucket"),
+            std::string::npos);
+  ASSERT_TRUE(json_line.starts_with("ok metrics json {")) << json_line;
+  EXPECT_TRUE(stats.shutdown_requested);
+}
 #endif  // GSB_TEST_UNIX_SOCKETS
 
 TEST(WireProtocol, FramesRoundTripAndRejectMalformedInput) {
@@ -853,6 +993,10 @@ TEST(TcpServe, LineProtocolMatchesBatchAcrossThreadCountsAndReportsStats) {
     EXPECT_NE(stats_line.find(" accept_errors=0"), std::string::npos)
         << stats_line;
     EXPECT_NE(stats_line.find(" epoch="), std::string::npos) << stats_line;
+    EXPECT_NE(stats_line.find(" uptime_seconds="), std::string::npos)
+        << stats_line;
+    EXPECT_NE(stats_line.find(" rss_bytes="), std::string::npos)
+        << stats_line;
 
     EXPECT_EQ(client.request("shutdown"), "ok shutdown");
     fx.join();
@@ -1064,6 +1208,72 @@ TEST(TcpServe, MalformedBinaryFrameClosesOnlyThatConnection) {
   EXPECT_EQ(probe.request("shutdown"), "ok shutdown");
   fx.join();
   EXPECT_EQ(fx.stats.protocol_errors, 1u);
+}
+
+TEST(TcpServe, MetricsOnLeavesResponsesByteIdenticalAndScrapes) {
+  const auto a = make_artifacts(44, 0.3, 71, "service_tcp_obs");
+  const auto lines = mixed_workload(a.graph);
+
+  // Reference computed with instrumentation off.
+  GraphCatalog reference_catalog;
+  auto reference_entry = reference_catalog.open("g", spec_for(a));
+  BatchOptions sequential;
+  sequential.threads = 1;
+  const auto reference = execute_batch(reference_entry, lines, sequential);
+
+  ScopedObservability obs_on;
+  TcpServerOptions options;
+  options.threads = 3;
+  TcpFixture fx(a, options);
+
+  auto client = ServiceClient::connect_tcp(fx.address());
+  EXPECT_EQ(client.request_pipelined(lines), reference.responses)
+      << "metrics on changed response bytes";
+
+  // Line-protocol scrape: all three formats answer.
+  const std::string prom = client.request("metrics");
+  ASSERT_TRUE(prom.starts_with("ok metrics prom ")) << prom;
+  const std::string text =
+      obs::unescape_multiline(prom.substr(sizeof("ok metrics prom ") - 1));
+  EXPECT_NE(text.find("# TYPE gsb_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsb_requests_total{transport=\"tcp\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsb_request_duration_microseconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("gsb_uptime_seconds"), std::string::npos);
+  const std::string json = client.request("metrics json");
+  ASSERT_TRUE(json.starts_with("ok metrics json {")) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  const std::string traces = client.request("metrics traces");
+  EXPECT_TRUE(traces.starts_with("ok metrics traces [")) << traces;
+
+  // The binary framing carries the identical payload with kOk status (on
+  // its own connection: the first byte commits a connection's framing).
+  auto binary_client = ServiceClient::connect_tcp(fx.address());
+  const auto frames = binary_client.call_pipelined({"metrics json"});
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].status, wire::Status::kOk);
+  EXPECT_TRUE(frames[0].payload.starts_with("ok metrics json {"));
+
+  const std::string unknown = client.request("metrics xml");
+  EXPECT_TRUE(unknown.starts_with("error: unknown metrics format"))
+      << unknown;
+
+  EXPECT_EQ(client.request("shutdown"), "ok shutdown");
+  fx.join();
+  EXPECT_EQ(fx.stats.protocol_errors, 0u);
+}
+
+TEST(TcpServe, MetricsRequestIsRejectedWhenDisabled) {
+  const auto a = make_artifacts(24, 0.3, 73, "service_tcp_obs_off");
+  TcpFixture fx(a);
+  auto client = ServiceClient::connect_tcp(fx.address());
+  EXPECT_EQ(client.request("metrics"),
+            "error: metrics disabled (serve with --metrics)");
+  EXPECT_EQ(client.request("shutdown"), "ok shutdown");
+  fx.join();
 }
 
 #endif  // defined(__linux__)
