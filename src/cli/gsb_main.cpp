@@ -64,6 +64,7 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/artifact_verify.h"
 #include "service/batch_executor.h"
 #include "service/client.h"
 #include "service/clique_index.h"
@@ -75,6 +76,8 @@
 #include "storage/gsbg_writer.h"
 #include "storage/mapped_graph.h"
 #include "util/cli.h"
+#include "util/fault_injection.h"
+#include "util/io.h"
 #include "util/log.h"
 #include "util/memory_tracker.h"
 #include "util/rng.h"
@@ -102,6 +105,7 @@ commands:
   index      build the .gsbci random-access sidecar for a .gsbc stream
   query      answer graph/clique queries against resident artifacts
   serve      long-lived query loop (stdin, a Unix-domain socket, or TCP)
+  verify     re-hash .gsbg/.gsbc/.gsbci artifacts end to end
   help       this text
 
 graph inputs: DIMACS (.clq/.dimacs), edge list, legacy binary (.bin), or
@@ -142,20 +146,26 @@ generate flags: --kind gnp|modules --n N [--p P | --edges E] --out FILE
 convert flags: <in> <out> [--in-format F] [--format F]
                [--degree-sort] [--wah] [--no-bitmap]    (.gsbg outputs)
 info flags:    <file> [--format F] [--verify]   (also reads .gsbc streams)
-index flags:   <file.gsbc> [--out FILE.gsbci]
+index flags:   <file.gsbc> [--out FILE.gsbci] [--clean-tmp]
 query flags:   --graph-file FILE ['QUERY' | --batch FILE|-] [--cliques F.gsbc]
                [--index F.gsbci] [--no-index] [--format F] [--threads P]
                [--cache] [--cache-bytes N] [--stats]
                remote: --connect HOST:PORT|SOCKET ['QUERY' | --batch FILE|-]
-               [--binary]   (pipelined against a running gsb serve)
+               [--binary] [--retries N] [--timeout-ms T]
+               (pipelined against a running gsb serve; --retries
+               reconnects and replays unanswered line-protocol requests)
 serve flags:   --graph-file FILE [--cliques F.gsbc] [--index F.gsbci]
                [--no-index] [--format F] [--socket PATH | --tcp HOST:PORT]
                [--threads P] [--cache] [--cache-bytes N] [--inflight-bytes N]
-               [--metrics] [--slow-query-log MICROS]
+               [--metrics] [--slow-query-log MICROS] [--request-timeout MS]
+               [--idle-timeout MS] [--write-timeout MS] [--clean-tmp]
                --metrics enables the registry and the `metrics` control
                request (Prometheus/JSON/traces: docs/OBSERVABILITY.md)
+verify flags:  <artifact>...   (exit 1 when any artifact fails)
 
 Every flag can also be set through the environment as GSB_<NAME>.
+GSB_FAULT_SCHEDULE injects deterministic I/O faults for chaos testing
+(grammar and fault model: docs/ROBUSTNESS.md).
 Full reference with worked examples: docs/CLI.md; the query grammar and
 wire format live in docs/SERVICE.md.
 )");
@@ -287,6 +297,40 @@ double run_bk_engine(const graph::GraphView& g, const core::SizeRange& range,
 void warn_unqueried(const util::Cli& cli) {
   for (const auto& flag : cli.unqueried()) {
     std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
+  }
+}
+
+/// Startup hygiene for the directories a command writes artifacts into:
+/// report `*.tmp.<pid>` debris left behind by crashed writers, and with
+/// --clean-tmp remove it.  Temps owned by live pids (concurrent builds)
+/// are never touched.
+void handle_stale_temps(const util::Cli& cli,
+                        const std::vector<std::string>& artifact_paths) {
+  const bool clean = cli.get_bool("clean-tmp", false);
+  std::vector<std::string> dirs;
+  for (const std::string& path : artifact_paths) {
+    if (path.empty()) continue;
+    std::string parent = std::filesystem::path(path).parent_path().string();
+    if (parent.empty()) parent = ".";
+    if (std::find(dirs.begin(), dirs.end(), parent) == dirs.end()) {
+      dirs.push_back(parent);
+    }
+  }
+  for (const std::string& dir : dirs) {
+    for (const auto& stale : util::io::find_stale_temps(dir)) {
+      if (clean) {
+        std::error_code ec;
+        std::filesystem::remove(stale.path, ec);
+        std::fprintf(stderr, "%s stale temp %s (pid %ld is dead)\n",
+                     ec ? "warning: cannot remove" : "removed",
+                     stale.path.c_str(), stale.pid);
+      } else {
+        std::fprintf(stderr,
+                     "warning: stale temp %s (pid %ld is dead); remove it "
+                     "with --clean-tmp\n",
+                     stale.path.c_str(), stale.pid);
+      }
+    }
   }
 }
 
@@ -883,12 +927,15 @@ int cmd_info(const util::Cli& cli) {
 
 int cmd_index(const util::Cli& cli) {
   if (cli.positional().size() < 2) {
-    std::fprintf(stderr, "usage: gsb index <file.gsbc> [--out FILE.gsbci]\n");
+    std::fprintf(stderr,
+                 "usage: gsb index <file.gsbc> [--out FILE.gsbci] "
+                 "[--clean-tmp]\n");
     return 2;
   }
   const std::string gsbc_path = cli.positional()[1];
   const std::string out_path =
       cli.get("out", service::default_index_path(gsbc_path));
+  handle_stale_temps(cli, {gsbc_path, out_path});
   warn_unqueried(cli);
   util::Timer timer;
   const auto stats = service::build_clique_index(gsbc_path, out_path);
@@ -899,6 +946,26 @@ int cmd_index(const util::Cli& cli) {
       util::format_bytes(stats.file_bytes).c_str(),
       util::format_seconds(timer.seconds()).c_str());
   return 0;
+}
+
+// --- gsb verify -------------------------------------------------------------
+
+int cmd_verify(const util::Cli& cli) {
+  if (cli.positional().size() < 2) {
+    std::fprintf(stderr, "usage: gsb verify <artifact>...\n");
+    return 2;
+  }
+  warn_unqueried(cli);
+  int failures = 0;
+  for (std::size_t i = 1; i < cli.positional().size(); ++i) {
+    try {
+      std::printf("%s\n", service::verify_artifact(cli.positional()[i]).c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 // --- gsb query / gsb serve --------------------------------------------------
@@ -931,8 +998,13 @@ std::shared_ptr<service::GraphEntry> open_service_entry(
 /// artifacts: `--connect HOST:PORT` (TCP) or `--connect /path.sock` (Unix
 /// socket), pipelining every request on one connection.  `--binary`
 /// switches the wire format; the response bytes are identical either way.
+/// On the line protocol, `retries` reconnects-and-replays; every query
+/// is read-only and deterministic, so the replayed session's responses
+/// are byte-identical to a fault-free one.  `timeout_ms` bounds connect
+/// and socket inactivity on both protocols (0 = no bound).
 int run_remote_query(const std::string& target, bool binary,
-                     const std::vector<std::string>& lines) {
+                     const std::vector<std::string>& lines,
+                     std::size_t retries, std::size_t timeout_ms) {
   std::vector<std::string> requests;
   for (const std::string& line : lines) {
     // Blank lines are keep-alives with no response; sending one through a
@@ -941,15 +1013,21 @@ int run_remote_query(const std::string& target, bool binary,
       requests.push_back(line);
     }
   }
-  auto client = target.find('/') != std::string::npos
-                    ? service::ServiceClient::connect_unix(target)
-                    : service::ServiceClient::connect_tcp(target);
+  const bool unix_socket = target.find('/') != std::string::npos;
   std::vector<std::string> responses;
   if (binary) {
+    auto client =
+        unix_socket ? service::ServiceClient::connect_unix(target, timeout_ms)
+                    : service::ServiceClient::connect_tcp(target, timeout_ms);
+    client.set_io_timeout(timeout_ms);
     for (auto& response : client.call_pipelined(requests)) {
       responses.push_back(std::move(response.payload));
     }
   } else {
+    service::RetryPolicy policy;
+    policy.retries = retries;
+    policy.timeout_ms = timeout_ms;
+    service::RetryingClient client(target, unix_socket, policy);
     responses = client.request_pipelined(requests);
   }
   std::size_t errors = 0;
@@ -990,6 +1068,7 @@ int cmd_query(const util::Cli& cli) {
         "           [--format F] [--threads P] [--cache] [--cache-bytes N]\n"
         "           [--stats]     (grammar: docs/SERVICE.md)\n"
         "   or: gsb query --connect HOST:PORT|SOCKET [--binary]\n"
+        "           [--retries N] [--timeout-ms T]\n"
         "           ['QUERY' ... | --batch FILE|-]\n");
     return 2;
   }
@@ -1017,8 +1096,16 @@ int cmd_query(const util::Cli& cli) {
 
   if (!connect_target.empty()) {
     const bool binary = cli.get_bool("binary", false);
+    const auto retries = size_flag(cli, "retries", 0);
+    const auto timeout_ms = size_flag(cli, "timeout-ms", 0);
+    if (binary && retries > 0) {
+      std::fprintf(stderr,
+                   "warning: --retries applies to the line protocol; "
+                   "--binary runs without retry\n");
+    }
     warn_unqueried(cli);
-    return run_remote_query(connect_target, binary, lines);
+    return run_remote_query(connect_target, binary, lines, retries,
+                            timeout_ms);
   }
 
   service::GraphCatalog catalog;
@@ -1080,7 +1167,9 @@ int cmd_serve(const util::Cli& cli) {
         "           [--index F.gsbci] [--no-index] [--format F]\n"
         "           [--socket PATH | --tcp HOST:PORT] [--threads P]\n"
         "           [--cache] [--cache-bytes N] [--inflight-bytes N]\n"
-        "           [--metrics] [--slow-query-log MICROS]\n");
+        "           [--metrics] [--slow-query-log MICROS]\n"
+        "           [--request-timeout MS] [--idle-timeout MS]\n"
+        "           [--write-timeout MS] [--clean-tmp]\n");
     return 2;
   }
   const auto threads = size_flag(cli, "threads", 0);
@@ -1090,6 +1179,11 @@ int cmd_serve(const util::Cli& cli) {
   const std::string tcp_address = cli.get("tcp", "");
   const auto inflight_bytes = size_flag(cli, "inflight-bytes", 4 << 20);
   const auto slow_query_log = size_flag(cli, "slow-query-log", 0);
+  const auto request_timeout = size_flag(cli, "request-timeout", 0);
+  const auto idle_timeout = size_flag(cli, "idle-timeout", 0);
+  const auto write_timeout = size_flag(cli, "write-timeout", 0);
+  handle_stale_temps(cli, {cli.get("graph-file", ""), cli.get("cliques", ""),
+                           cli.get("index", "")});
   // A slow-query threshold needs the tracer, which needs the registry, so
   // --slow-query-log implies --metrics.
   const bool metrics = cli.get_bool("metrics", false) || slow_query_log > 0;
@@ -1116,6 +1210,8 @@ int cmd_serve(const util::Cli& cli) {
   options.threads = threads;
   options.cache = cache ? &*cache : nullptr;
   options.stop = &g_serve_stop;
+  options.request_timeout_ms = request_timeout;
+  options.idle_timeout_ms = idle_timeout;
 #if defined(__unix__) || defined(__APPLE__)
   // sigaction without SA_RESTART, so Ctrl-C interrupts the blocking
   // stdin read instead of waiting for the next input line.
@@ -1135,6 +1231,9 @@ int cmd_serve(const util::Cli& cli) {
     tcp_options.cache = cache ? &*cache : nullptr;
     tcp_options.stop = &g_serve_stop;
     tcp_options.max_inflight_bytes = inflight_bytes;
+    tcp_options.request_timeout_ms = request_timeout;
+    tcp_options.idle_timeout_ms = idle_timeout;
+    tcp_options.write_timeout_ms = write_timeout;
     // `reload` control request: re-open the same artifact spec under a
     // fresh epoch and swap it in under live traffic.
     tcp_options.reload = [&catalog, spec] {
@@ -1194,6 +1293,18 @@ int cmd_serve(const util::Cli& cli) {
 
 int main(int argc, char** argv) {
   obs::anchor_process_start();
+  try {
+    // Chaos smoke: GSB_FAULT_SCHEDULE arms the fault shim for the whole
+    // process before any I/O happens.
+    if (gsb::fault::install_from_env()) {
+      std::fprintf(stderr,
+                   "fault injection armed from GSB_FAULT_SCHEDULE\n");
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: bad GSB_FAULT_SCHEDULE: %s\n",
+                 error.what());
+    return 2;
+  }
   const util::Cli cli(argc, argv);
   const std::string command =
       cli.positional().empty() ? "" : cli.positional().front();
@@ -1208,6 +1319,7 @@ int main(int argc, char** argv) {
     if (command == "index") return cmd_index(cli);
     if (command == "query") return cmd_query(cli);
     if (command == "serve") return cmd_serve(cli);
+    if (command == "verify") return cmd_verify(cli);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -6,6 +6,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <unistd.h>
+
+#include "util/io.h"
+
 namespace gsb::graph {
 namespace {
 
@@ -162,7 +166,23 @@ Graph read_binary(std::istream& in) {
 }
 
 Graph read_binary_file(const std::string& path) {
-  auto in = open_in(path, std::ios::binary);
+  // fd-based load through util::io so short reads and EINTR are handled
+  // in one place (and so the fault shim can exercise this loader).
+  const int fd = util::io::open_for_read(path.c_str());
+  if (fd < 0) fail("cannot open '" + path + "'");
+  std::string bytes;
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t got = util::io::read_some(fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      ::close(fd);
+      fail("read failed for '" + path + "'");
+    }
+    if (got == 0) break;
+    bytes.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  std::istringstream in(std::move(bytes));
   return read_binary(in);
 }
 
@@ -178,8 +198,13 @@ void write_binary(const Graph& g, std::ostream& out) {
 }
 
 void write_binary_file(const Graph& g, const std::string& path) {
-  auto out = open_out(path, std::ios::binary);
-  write_binary(g, out);
+  // Crash-safe like the container writers: temp file, fsync, rename.
+  std::ostringstream buffered;
+  write_binary(g, buffered);
+  const std::string bytes = buffered.str();
+  util::io::FileWriter out(path);
+  out.write(bytes.data(), bytes.size());
+  out.commit();
 }
 
 std::string detect_graph_format(const std::string& path,

@@ -1,0 +1,27 @@
+#ifndef GSB_SERVICE_ARTIFACT_VERIFY_H
+#define GSB_SERVICE_ARTIFACT_VERIFY_H
+
+/// \file artifact_verify.h
+/// `gsb verify`: full-strength integrity check for any of the three
+/// container formats.  The artifact kind is sniffed from the 8-byte
+/// magic (not the file name), every format is re-hashed end to end —
+/// MappedGraph with verify_checksum, GsbcReader with verify_checksum
+/// plus a full record drain, CliqueIndex (which always re-hashes) —
+/// and structural invariants are revalidated by the normal open paths.
+/// The crash-safety contract this checks: a path produced by a
+/// FileWriter commit is either a complete, checksummed artifact or
+/// absent; verify must therefore never report a *corrupt* artifact
+/// after a crash, only a missing one (docs/ROBUSTNESS.md).
+
+#include <string>
+
+namespace gsb::service {
+
+/// Verifies one artifact and returns a one-line human-readable summary
+/// (`ok <kind> '<path>': ...`).  Throws std::runtime_error naming the
+/// defect when the file is unreadable, unrecognized, or corrupt.
+std::string verify_artifact(const std::string& path);
+
+}  // namespace gsb::service
+
+#endif  // GSB_SERVICE_ARTIFACT_VERIFY_H

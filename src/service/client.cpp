@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <iostream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+
+#include "obs/metrics.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define GSB_HAVE_CLIENT_SOCKETS 1
@@ -15,6 +20,8 @@
 #include <unistd.h>
 
 #include <cstring>
+
+#include "util/io.h"
 
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0  // macOS: SO_NOSIGPIPE is set on the socket instead
@@ -45,7 +52,8 @@ void set_nosigpipe(int fd) {
 
 }  // namespace
 
-ServiceClient ServiceClient::connect_tcp(const std::string& host_port) {
+ServiceClient ServiceClient::connect_tcp(const std::string& host_port,
+                                         std::size_t connect_timeout_ms) {
   const auto colon = host_port.rfind(':');
   if (colon == std::string::npos || colon + 1 == host_port.size()) {
     throw std::runtime_error("client: expected HOST:PORT, got '" +
@@ -73,11 +81,10 @@ ServiceClient ServiceClient::connect_tcp(const std::string& host_port) {
       error = "socket() failed";
       continue;
     }
-    int connected;
-    do {
-      connected = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
-    } while (connected != 0 && errno == EINTR);
-    if (connected == 0) break;
+    if (util::io::connect_with_timeout(fd, ai->ai_addr, ai->ai_addrlen,
+                                       connect_timeout_ms) == 0) {
+      break;
+    }
     error = std::strerror(errno);
     ::close(fd);
     fd = -1;
@@ -92,7 +99,8 @@ ServiceClient ServiceClient::connect_tcp(const std::string& host_port) {
   return ServiceClient(fd);
 }
 
-ServiceClient ServiceClient::connect_unix(const std::string& socket_path) {
+ServiceClient ServiceClient::connect_unix(const std::string& socket_path,
+                                          std::size_t connect_timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {
@@ -101,15 +109,13 @@ ServiceClient ServiceClient::connect_unix(const std::string& socket_path) {
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("client: socket() failed");
-  int connected;
-  do {
-    connected = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                          sizeof(addr));
-  } while (connected != 0 && errno == EINTR);
-  if (connected != 0) {
+  if (util::io::connect_with_timeout(
+          fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+          connect_timeout_ms) != 0) {
+    const std::string error = std::strerror(errno);
     ::close(fd);
     throw std::runtime_error("client: cannot connect to '" + socket_path +
-                             "'");
+                             "': " + error);
   }
   set_nosigpipe(fd);
   set_nonblocking(fd);
@@ -118,7 +124,8 @@ ServiceClient ServiceClient::connect_unix(const std::string& socket_path) {
 
 ServiceClient::ServiceClient(ServiceClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)), out_(std::move(other.out_)),
-      in_(std::move(other.in_)), next_id_(other.next_id_) {}
+      in_(std::move(other.in_)), next_id_(other.next_id_),
+      io_timeout_ms_(other.io_timeout_ms_) {}
 
 ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
   if (this != &other) {
@@ -127,6 +134,7 @@ ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
     out_ = std::move(other.out_);
     in_ = std::move(other.in_);
     next_id_ = other.next_id_;
+    io_timeout_ms_ = other.io_timeout_ms_;
   }
   return *this;
 }
@@ -151,21 +159,28 @@ void ServiceClient::finish_sending() {
 template <typename DonePredicate>
 void ServiceClient::transfer(const DonePredicate& done) {
   if (fd_ < 0) throw std::runtime_error("client: connection is closed");
+  const int poll_ms =
+      io_timeout_ms_ == 0 ? -1 : static_cast<int>(io_timeout_ms_);
   while (!done()) {
     pollfd poller{};
     poller.fd = fd_;
     poller.events = POLLIN;
     if (!out_.empty()) poller.events |= POLLOUT;
-    const int ready = ::poll(&poller, 1, -1);
+    const int ready = ::poll(&poller, 1, poll_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error("client: poll failed");
     }
+    if (ready == 0) {
+      throw std::runtime_error("client: I/O timed out after " +
+                               std::to_string(io_timeout_ms_) + "ms");
+    }
     if (!out_.empty() && (poller.revents & POLLOUT) != 0) {
       const std::size_t chunk = std::min(out_.size(), kIoChunk);
-      const ssize_t n = ::send(fd_, out_.data(), chunk, MSG_NOSIGNAL);
+      const ssize_t n =
+          util::io::send_some(fd_, out_.data(), chunk, MSG_NOSIGNAL);
       if (n < 0) {
-        if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
           throw std::runtime_error("client: connection lost while sending");
         }
       } else {
@@ -174,9 +189,9 @@ void ServiceClient::transfer(const DonePredicate& done) {
     }
     if ((poller.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
       char buf[kIoChunk];
-      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      const ssize_t n = util::io::recv_some(fd_, buf, sizeof(buf), 0);
       if (n < 0) {
-        if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
           throw std::runtime_error("client: connection lost while receiving");
         }
       } else if (n == 0) {
@@ -198,12 +213,19 @@ std::string ServiceClient::request(const std::string& line) {
 
 std::vector<std::string> ServiceClient::request_pipelined(
     const std::vector<std::string>& lines) {
-  for (const std::string& line : lines) {
-    out_.append(line);
-    out_.push_back('\n');
-  }
   std::vector<std::string> responses;
   responses.reserve(lines.size());
+  request_pipelined_into(lines, 0, responses);
+  return responses;
+}
+
+void ServiceClient::request_pipelined_into(
+    const std::vector<std::string>& lines, std::size_t from,
+    std::vector<std::string>& responses) {
+  for (std::size_t i = from; i < lines.size(); ++i) {
+    out_.append(lines[i]);
+    out_.push_back('\n');
+  }
   transfer([&] {
     std::size_t start = 0;
     for (std::size_t nl = in_.find('\n');
@@ -215,7 +237,6 @@ std::vector<std::string> ServiceClient::request_pipelined(
     if (start > 0) in_.erase(0, start);
     return responses.size() == lines.size();
   });
-  return responses;
 }
 
 // --- binary protocol --------------------------------------------------------
@@ -279,11 +300,11 @@ std::vector<ServiceClient::BinaryResponse> ServiceClient::call_pipelined(
 
 #else  // !GSB_HAVE_CLIENT_SOCKETS
 
-ServiceClient ServiceClient::connect_tcp(const std::string&) {
+ServiceClient ServiceClient::connect_tcp(const std::string&, std::size_t) {
   throw std::runtime_error("client: sockets unavailable on this platform");
 }
 
-ServiceClient ServiceClient::connect_unix(const std::string&) {
+ServiceClient ServiceClient::connect_unix(const std::string&, std::size_t) {
   throw std::runtime_error("client: sockets unavailable on this platform");
 }
 
@@ -309,6 +330,12 @@ std::vector<std::string> ServiceClient::request_pipelined(
   throw std::runtime_error("client: sockets unavailable on this platform");
 }
 
+void ServiceClient::request_pipelined_into(const std::vector<std::string>&,
+                                           std::size_t,
+                                           std::vector<std::string>&) {
+  throw std::runtime_error("client: sockets unavailable on this platform");
+}
+
 std::uint64_t ServiceClient::send(const std::string&) {
   throw std::runtime_error("client: sockets unavailable on this platform");
 }
@@ -331,5 +358,91 @@ std::vector<ServiceClient::BinaryResponse> ServiceClient::call_pipelined(
 }
 
 #endif
+
+// --- RetryingClient ---------------------------------------------------------
+//
+// Platform-independent: built entirely on the public ServiceClient API,
+// so on platforms without sockets it fails the same way ServiceClient
+// does (after exhausting its retry budget).
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+obs::Counter& retry_counter() {
+  static obs::Counter counter = obs::MetricsRegistry::global().counter(
+      "gsb_retries_total", "Client reconnect-and-replay retries.");
+  return counter;
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(std::string target, bool unix_socket,
+                               RetryPolicy policy)
+    : target_(std::move(target)), unix_socket_(unix_socket), policy_(policy),
+      rng_(policy.seed) {}
+
+void RetryingClient::close() { client_.reset(); }
+
+ServiceClient& RetryingClient::ensure_connected() {
+  if (!client_ || !client_->is_open()) {
+    client_.emplace(unix_socket_
+                        ? ServiceClient::connect_unix(target_,
+                                                      policy_.timeout_ms)
+                        : ServiceClient::connect_tcp(target_,
+                                                     policy_.timeout_ms));
+    client_->set_io_timeout(policy_.timeout_ms);
+  }
+  return *client_;
+}
+
+std::size_t RetryingClient::backoff_ms(std::size_t attempt) {
+  if (policy_.base_backoff_ms == 0) return 0;
+  const std::size_t shift = std::min<std::size_t>(attempt - 1, 20);
+  const std::uint64_t nominal =
+      std::min<std::uint64_t>(policy_.base_backoff_ms << shift,
+                              policy_.max_backoff_ms);
+  rng_ = mix64(rng_);
+  const double scale =
+      0.5 + 0.5 * (static_cast<double>(rng_ >> 11) * 0x1.0p-53);
+  return static_cast<std::size_t>(static_cast<double>(nominal) * scale);
+}
+
+std::string RetryingClient::request(const std::string& line) {
+  return request_pipelined({line}).front();
+}
+
+std::vector<std::string> RetryingClient::request_pipelined(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> responses;
+  responses.reserve(lines.size());
+  std::size_t attempt = 0;
+  for (;;) {
+    try {
+      ensure_connected().request_pipelined_into(lines, responses.size(),
+                                                responses);
+      return responses;
+    } catch (const std::runtime_error& error) {
+      client_.reset();  // the connection is in an unknown state: drop it
+      if (attempt >= policy_.retries) throw;
+      ++attempt;
+      ++reconnects_;
+      retry_counter().inc();
+      const std::size_t delay = backoff_ms(attempt);
+      std::cerr << "client: reconnect " << attempt << "/" << policy_.retries
+                << " to '" << target_ << "' after error: " << error.what()
+                << " (" << (lines.size() - responses.size())
+                << " request(s) to replay, backoff " << delay << "ms)\n";
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+  }
+}
 
 }  // namespace gsb::service

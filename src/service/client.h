@@ -18,6 +18,7 @@
 /// never SIGPIPE.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,10 +34,13 @@ class ServiceClient {
     std::string payload;
   };
 
-  /// Connects to `HOST:PORT`.  Throws std::runtime_error on failure.
-  static ServiceClient connect_tcp(const std::string& host_port);
+  /// Connects to `HOST:PORT`.  Throws std::runtime_error on failure
+  /// (including ETIMEDOUT when a connect bound is set; 0 = no bound).
+  static ServiceClient connect_tcp(const std::string& host_port,
+                                   std::size_t connect_timeout_ms = 0);
   /// Connects to a Unix-domain socket path.
-  static ServiceClient connect_unix(const std::string& socket_path);
+  static ServiceClient connect_unix(const std::string& socket_path,
+                                    std::size_t connect_timeout_ms = 0);
 
   ServiceClient(ServiceClient&& other) noexcept;
   ServiceClient& operator=(ServiceClient&& other) noexcept;
@@ -53,6 +57,21 @@ class ServiceClient {
   /// response lines in request order.
   std::vector<std::string> request_pipelined(
       const std::vector<std::string>& lines);
+
+  /// Resumable core of request_pipelined: sends `lines[from..)` and
+  /// appends response lines to \p responses as they arrive.  On a
+  /// connection failure it throws with the already-arrived responses
+  /// retained — the hook RetryingClient uses to replay only the
+  /// unanswered suffix after reconnecting.
+  void request_pipelined_into(const std::vector<std::string>& lines,
+                              std::size_t from,
+                              std::vector<std::string>& responses);
+
+  /// Bounds every poll() inside a transfer: if the socket makes no
+  /// progress for this long the call throws (0 = wait forever).
+  void set_io_timeout(std::size_t timeout_ms) noexcept {
+    io_timeout_ms_ = timeout_ms;
+  }
 
   // --- binary protocol ------------------------------------------------------
 
@@ -89,6 +108,56 @@ class ServiceClient {
   std::string out_;      ///< encoded frames / lines awaiting send
   std::string in_;       ///< received bytes awaiting decode
   std::uint64_t next_id_ = 1;
+  std::size_t io_timeout_ms_ = 0;  ///< poll bound inside transfer (0 = none)
+};
+
+/// Knobs for RetryingClient.  Backoff between reconnects is exponential
+/// (base doubling per attempt, capped) with deterministic seeded jitter
+/// in [0.5, 1.0] of the nominal delay, so chaos runs replay exactly.
+struct RetryPolicy {
+  std::size_t retries = 0;     ///< reconnects allowed before giving up
+  std::size_t timeout_ms = 0;  ///< connect + per-poll I/O bound (0 = none)
+  std::uint64_t seed = 2005;   ///< jitter seed
+  std::size_t base_backoff_ms = 10;
+  std::size_t max_backoff_ms = 2000;
+};
+
+/// Reconnect-and-replay wrapper over the line protocol.  Safe because
+/// every query is read-only and deterministic: after a connection
+/// failure (connect, send, receive, or I/O timeout) it reconnects with
+/// backoff and resends only the requests whose responses have not
+/// arrived, so the caller sees the same response vector a fault-free
+/// session would produce.  Each reconnect increments gsb_retries_total
+/// and logs one `client: reconnect ...` line to stderr.
+class RetryingClient {
+ public:
+  /// \p target is `HOST:PORT` when \p unix_socket is false, else a
+  /// socket path.  Connection is lazy (first request).
+  RetryingClient(std::string target, bool unix_socket, RetryPolicy policy);
+
+  /// One request line -> its response line, with retry.
+  std::string request(const std::string& line);
+  /// Pipelined lines -> responses in request order, with
+  /// reconnect-and-replay of the unanswered suffix.
+  std::vector<std::string> request_pipelined(
+      const std::vector<std::string>& lines);
+
+  /// Reconnects performed over the client's lifetime.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
+  void close();
+
+ private:
+  ServiceClient& ensure_connected();
+  std::size_t backoff_ms(std::size_t attempt);
+
+  std::string target_;
+  bool unix_socket_ = false;
+  RetryPolicy policy_;
+  std::optional<ServiceClient> client_;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t rng_ = 0;
 };
 
 }  // namespace gsb::service

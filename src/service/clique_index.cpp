@@ -13,6 +13,7 @@
 #endif
 
 #include "storage/clique_stream.h"
+#include "util/io.h"
 
 namespace gsb::service {
 namespace {
@@ -39,12 +40,12 @@ void serialize_header(char (&buffer)[kGsbciHeaderBytes],
 }
 
 /// Writes one u64 array as payload bytes, folding it into \p sum.
-void write_array(std::ofstream& out, storage::Fnv1a& sum,
+void write_array(util::io::FileWriter& out, storage::Fnv1a& sum,
                  const std::vector<std::uint64_t>& values) {
   const auto* bytes = reinterpret_cast<const char*>(values.data());
   const std::size_t count = values.size() * sizeof(std::uint64_t);
   sum.update(bytes, count);
-  out.write(bytes, static_cast<std::streamsize>(count));
+  out.write(bytes, count);
 }
 
 }  // namespace
@@ -88,8 +89,9 @@ CliqueIndexBuildStats build_clique_index(const std::string& gsbc_path,
     for (const graph::VertexId v : clique) postings[cursor[v]++] = id;
   }
 
-  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
-  if (!out) fail("cannot open '" + out_path + "' for writing");
+  // Crash safety: the index is assembled in `<out_path>.tmp.<pid>` and
+  // atomically renamed on commit, like the .gsbg/.gsbc writers.
+  util::io::FileWriter out(out_path);
   char raw[kGsbciHeaderBytes];
   serialize_header(raw, header);  // placeholder; patched below
   out.write(raw, sizeof(raw));
@@ -99,10 +101,8 @@ CliqueIndexBuildStats build_clique_index(const std::string& gsbc_path,
   write_array(out, sum, postings);
   header.checksum = sum.digest();
   serialize_header(raw, header);
-  out.seekp(0);
-  out.write(raw, sizeof(raw));
-  out.flush();
-  if (!out) fail("write failed for '" + out_path + "'");
+  out.write_at(0, raw, sizeof(raw));
+  out.commit();
 
   CliqueIndexBuildStats stats;
   stats.clique_count = header.clique_count;
@@ -152,7 +152,7 @@ CliqueIndex CliqueIndex::open(const std::string& path) {
   CliqueIndex index;
 
 #if GSB_HAVE_MMAP
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = util::io::open_for_read(path.c_str());
   if (fd < 0) fail("cannot open '" + path + "' for reading");
   struct stat st{};
   if (::fstat(fd, &st) != 0 || st.st_size < 0) {
@@ -164,8 +164,7 @@ CliqueIndex CliqueIndex::open(const std::string& path) {
     ::close(fd);
     fail("file is empty");
   }
-  void* map =
-      ::mmap(nullptr, index.map_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  void* map = util::io::mmap_read(index.map_bytes_, fd);
   ::close(fd);
   if (map == MAP_FAILED) fail("mmap failed for '" + path + "'");
   index.base_ = static_cast<const char*>(map);

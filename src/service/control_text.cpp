@@ -16,6 +16,7 @@ std::string render_stats_line(const StatsFields& fields) {
     out += " connections=" + std::to_string(*fields.connections);
   }
   if (fields.busy) out += " busy=" + std::to_string(*fields.busy);
+  if (fields.timeouts) out += " timeouts=" + std::to_string(*fields.timeouts);
   out += " accept_errors=" + std::to_string(fields.accept_errors) +
          " backlog=" + std::to_string(fields.backlog);
   if (fields.epoch) out += " epoch=" + std::to_string(*fields.epoch);

@@ -25,6 +25,8 @@ struct StatsFields {
   /// unchanged.
   std::optional<std::uint64_t> connections;
   std::optional<std::uint64_t> busy;
+  /// Emitted only when a deadline/idle/write timeout is configured.
+  std::optional<std::uint64_t> timeouts;
   std::uint64_t accept_errors = 0;
   int backlog = 0;
   std::optional<std::uint64_t> epoch;

@@ -1,6 +1,7 @@
 #include "service/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/control_text.h"
+#include "util/io.h"
 #include "util/timer.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -39,7 +41,11 @@ struct ServeState {
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
   std::atomic<std::uint64_t> accept_errors{0};
+  std::atomic<std::uint64_t> timeouts{0};
   std::atomic<bool> stopping{false};
+  /// stats emits timeouts= only when a deadline/idle bound is configured,
+  /// so the default stats line is byte-identical to older servers.
+  bool timeouts_configured = false;
   ResultCache* cache = nullptr;
   const std::atomic<bool>* external_stop = nullptr;
   /// Listen backlog in force (0 on the stream transport).  The kernel
@@ -75,6 +81,9 @@ std::optional<std::string> control_response(ServeState& state,
     fields.requests = state.requests.load(std::memory_order_relaxed);
     fields.cache_hits = state.cache_hits.load(std::memory_order_relaxed);
     fields.cache_misses = state.cache_misses.load(std::memory_order_relaxed);
+    if (state.timeouts_configured) {
+      fields.timeouts = state.timeouts.load(std::memory_order_relaxed);
+    }
     fields.accept_errors =
         state.accept_errors.load(std::memory_order_relaxed);
     fields.backlog = state.listen_backlog;
@@ -128,6 +137,25 @@ const TransportMetrics& unix_metrics() {
   return metrics;
 }
 
+constexpr const char* kDeadlineError = "error: deadline exceeded";
+constexpr const char* kTimeoutMetric = "gsb_timeouts_total";
+constexpr const char* kTimeoutHelp =
+    "Requests or connections timed out, by timeout kind.";
+
+/// Same series the TCP loop registers (the registry dedupes on
+/// name+labels), so every transport's timeouts land in one metric.
+obs::Counter& request_timeout_counter() {
+  static obs::Counter counter = obs::MetricsRegistry::global().counter(
+      kTimeoutMetric, kTimeoutHelp, "kind=\"request\"");
+  return counter;
+}
+
+obs::Counter& idle_timeout_counter() {
+  static obs::Counter counter = obs::MetricsRegistry::global().counter(
+      kTimeoutMetric, kTimeoutHelp, "kind=\"idle\"");
+  return counter;
+}
+
 }  // namespace
 
 ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
@@ -139,6 +167,7 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
   ServeState state;
   state.cache = options.cache;
   state.external_stop = options.stop;
+  state.timeouts_configured = options.request_timeout_ms != 0;
   ServeStats stats;
 
   // Session-lifetime state: multi-line groups borrow one pool and one set
@@ -160,6 +189,12 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
 
   std::vector<std::string> group;
   std::string line;
+  auto group_arrival = std::chrono::steady_clock::now();
+  const auto past_deadline = [&]() {
+    return options.request_timeout_ms != 0 &&
+           std::chrono::steady_clock::now() - group_arrival >
+               std::chrono::milliseconds(options.request_timeout_ms);
+  };
   while (!state.should_stop() && std::getline(in, line)) {
     // Group the contiguously available request lines so independent
     // queries fan out together; responses still flush in request order.
@@ -168,21 +203,39 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
     while (in.rdbuf()->in_avail() > 0 && std::getline(in, line)) {
       group.push_back(line);
     }
+    group_arrival = std::chrono::steady_clock::now();
 
     std::size_t begin = 0;
     auto flush_queries = [&](std::size_t end) {
       if (begin == end) return;
-      if (threads == 1 || end - begin == 1) {
+      // A configured deadline forces the per-line path: each request is
+      // individually timed against its group's arrival, which batch
+      // fan-out cannot provide.
+      if (threads == 1 || end - begin == 1 ||
+          options.request_timeout_ms != 0) {
         for (std::size_t i = begin; i < end; ++i) {
           const std::uint64_t h0 = session_hits;
           const std::uint64_t m0 = session_misses;
+          if (past_deadline()) {
+            // Shed without executing; the slot still answers in order.
+            state.timeouts.fetch_add(1, std::memory_order_relaxed);
+            request_timeout_counter().inc();
+            out << kDeadlineError << '\n';
+            continue;
+          }
+          std::string response;
           {
             obs::TraceScope trace(obs::Tracer::global(), "stream", group[i]);
-            out << execute_cached_line(session_engine, options.cache,
-                                       group[i], session_hits,
-                                       session_misses)
-                << '\n';
+            response = execute_cached_line(session_engine, options.cache,
+                                           group[i], session_hits,
+                                           session_misses);
           }
+          if (past_deadline()) {
+            state.timeouts.fetch_add(1, std::memory_order_relaxed);
+            request_timeout_counter().inc();
+            response = kDeadlineError;
+          }
+          out << response << '\n';
           state.cache_hits.fetch_add(session_hits - h0,
                                      std::memory_order_relaxed);
           state.cache_misses.fetch_add(session_misses - m0,
@@ -235,6 +288,7 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
   stats.engine += session_engine.stats();
   stats.cache_hits += session_hits;
   stats.cache_misses += session_misses;
+  stats.timeouts = state.timeouts.load(std::memory_order_relaxed);
   stats.shutdown_requested = state.stopping.load(std::memory_order_relaxed);
   return stats;
 }
@@ -243,16 +297,15 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
 
 namespace {
 
-/// Sends the whole buffer.  MSG_NOSIGNAL so a client that disconnected
+/// Sends the whole buffer through util::io::send_some (EINTR retried
+/// there, fault-injectable).  MSG_NOSIGNAL so a client that disconnected
 /// mid-response surfaces as EPIPE (connection teardown) instead of a
-/// process-killing SIGPIPE; EINTR retries so the CLI's SA_RESTART-free
-/// signal handlers cannot silently truncate a response.
+/// process-killing SIGPIPE.
 bool write_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
+    const ssize_t n = util::io::send_some(fd, data.data() + sent,
+                                          data.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
@@ -260,10 +313,10 @@ bool write_all(int fd, const std::string& data) {
 }
 
 /// One connection: per-connection engine, shared cache/state; answers
-/// request lines until EOF or server stop.
+/// request lines until EOF, server stop, or idle timeout.
 void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
-                       ServeState& state, std::mutex& stats_mutex,
-                       ServeStats& stats) {
+                       ServeState& state, const ServeOptions& options,
+                       std::mutex& stats_mutex, ServeStats& stats) {
   QueryEngine engine(entry);
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -273,6 +326,15 @@ void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
   bool write_ok = true;   // a failed write aborts the connection
   bool closing = false;   // shutdown seen: drain what is buffered, close
   const TransportMetrics& metrics = unix_metrics();
+  auto last_activity = std::chrono::steady_clock::now();
+  // Read-batch arrival time: every line parsed from one read shares it,
+  // mirroring the TCP loop's enqueue-to-response deadline.
+  auto enqueued = last_activity;
+  const auto past_deadline = [&]() {
+    return options.request_timeout_ms != 0 &&
+           std::chrono::steady_clock::now() - enqueued >
+               std::chrono::milliseconds(options.request_timeout_ms);
+  };
   auto answer = [&](const std::string& request) {
     if (request.empty() || !write_ok) return;
     ++requests;
@@ -283,9 +345,19 @@ void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
     if (const auto control = control_response(state, request)) {
       response = *control;
       if (request == "shutdown") closing = true;
+    } else if (past_deadline()) {
+      // Shed without executing; the line still answers in order.
+      state.timeouts.fetch_add(1, std::memory_order_relaxed);
+      request_timeout_counter().inc();
+      response = kDeadlineError;
     } else {
       response =
           execute_cached_line(engine, state.cache, request, hits, misses);
+      if (past_deadline()) {
+        state.timeouts.fetch_add(1, std::memory_order_relaxed);
+        request_timeout_counter().inc();
+        response = kDeadlineError;
+      }
     }
     std::string payload;
     {
@@ -302,25 +374,39 @@ void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
         static_cast<std::uint64_t>(write_timer.micros()));
     metrics.bytes_out.inc(payload.size());
   };
+  int tick_ms = 200;
+  if (options.idle_timeout_ms != 0) {
+    tick_ms = std::min<int>(
+        tick_ms,
+        std::max<int>(10, static_cast<int>(options.idle_timeout_ms / 2)));
+  }
   while (write_ok && !closing) {
     struct pollfd poller{fd, POLLIN, 0};
-    const int ready = ::poll(&poller, 1, 200);
+    const int ready = ::poll(&poller, 1, tick_ms);
     if (state.should_stop()) break;  // graceful: in-flight lines finished
     if (ready < 0) {
       if (errno == EINTR) continue;  // interrupted: re-check the stop flags
       break;
     }
-    if (ready == 0) continue;
-    ssize_t n;
-    do {
-      n = ::read(fd, chunk, sizeof(chunk));
-    } while (n < 0 && errno == EINTR && !state.should_stop());
+    if (ready == 0) {
+      if (options.idle_timeout_ms != 0 &&
+          std::chrono::steady_clock::now() - last_activity >
+              std::chrono::milliseconds(options.idle_timeout_ms)) {
+        state.timeouts.fetch_add(1, std::memory_order_relaxed);
+        idle_timeout_counter().inc();
+        break;  // reclaim the worker held by a silent peer
+      }
+      continue;
+    }
+    const ssize_t n = util::io::read_some(fd, chunk, sizeof(chunk));
+    enqueued = std::chrono::steady_clock::now();
     if (n <= 0) {
       // EOF: a final request without a trailing newline is still a
       // request — answer it before closing instead of dropping it.
       if (n == 0) answer(trimmed(pending));
       break;
     }
+    last_activity = enqueued;
     pending.append(chunk, static_cast<std::size_t>(n));
     metrics.bytes_in.inc(static_cast<std::uint64_t>(n));
     // Answer every complete buffered line — including lines received
@@ -399,6 +485,8 @@ ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry> entry,
   ServeState state;
   state.cache = options.cache;
   state.external_stop = options.stop;
+  state.timeouts_configured =
+      options.request_timeout_ms != 0 || options.idle_timeout_ms != 0;
   state.listen_backlog = SOMAXCONN;
   ServeStats stats;
   std::mutex stats_mutex;
@@ -443,8 +531,9 @@ ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry> entry,
     }
     auto done = std::make_shared<std::atomic<bool>>(false);
     workers.push_back(Connection{
-        std::thread([fd, entry, &state, &stats_mutex, &stats, done] {
-          handle_connection(fd, entry, state, stats_mutex, stats);
+        std::thread([fd, entry, &state, &options, &stats_mutex, &stats,
+                     done] {
+          handle_connection(fd, entry, state, options, stats_mutex, stats);
           done->store(true, std::memory_order_release);
         }),
         done});
@@ -457,6 +546,7 @@ ServeStats serve_unix_socket(std::shared_ptr<const GraphEntry> entry,
     ::unlink(socket_path.c_str());
   }
   stats.accept_errors = state.accept_errors.load(std::memory_order_relaxed);
+  stats.timeouts = state.timeouts.load(std::memory_order_relaxed);
   stats.shutdown_requested = state.stopping.load(std::memory_order_relaxed);
   return stats;
 }

@@ -38,6 +38,16 @@ struct ServeOptions {
   /// Optional external shutdown flag (e.g. set by a SIGTERM handler);
   /// polled between requests and by the accept loop.
   const std::atomic<bool>* stop = nullptr;
+  /// Request deadline in milliseconds (0 = none).  A query answered later
+  /// than this after arriving gets a typed `error: deadline exceeded`
+  /// instead of its result; order is preserved, and queued requests
+  /// already past deadline are shed without executing.  With a deadline
+  /// set the stream transport executes per-line (no batch fan-out) so
+  /// every request is individually timed.
+  std::size_t request_timeout_ms = 0;
+  /// Close a socket connection with no traffic and nothing pending after
+  /// this many milliseconds (0 = never).  Socket transport only.
+  std::size_t idle_timeout_ms = 0;
 };
 
 struct ServeStats {
@@ -46,6 +56,7 @@ struct ServeStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t accept_errors = 0;  ///< failed accept() calls (socket only)
+  std::uint64_t timeouts = 0;       ///< deadline + idle timeouts
   QueryEngineStats engine;
   bool shutdown_requested = false;  ///< a client sent `shutdown`
 };

@@ -28,6 +28,7 @@
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "service/control_text.h"
+#include "util/io.h"
 #include "util/timer.h"
 
 namespace gsb::service {
@@ -60,6 +61,9 @@ struct LoopMetrics {
   obs::Counter disconnects;
   obs::Counter reloads;
   obs::Counter epoll_wakeups;
+  obs::Counter timeout_requests;
+  obs::Counter timeout_idle;
+  obs::Counter timeout_write;
   obs::Histogram socket_write;
 };
 
@@ -93,6 +97,15 @@ const LoopMetrics& loop_metrics() {
     m.epoll_wakeups = registry.counter(
         "gsb_epoll_wakeups_total",
         "Event-loop wakeups (events ready or idle timeout).");
+    const char* timeout_name = "gsb_timeouts_total";
+    const char* timeout_help =
+        "Requests or connections timed out, by timeout kind.";
+    m.timeout_requests =
+        registry.counter(timeout_name, timeout_help, "kind=\"request\"");
+    m.timeout_idle =
+        registry.counter(timeout_name, timeout_help, "kind=\"idle\"");
+    m.timeout_write =
+        registry.counter(timeout_name, timeout_help, "kind=\"write\"");
     m.socket_write = registry.histogram(
         "gsb_socket_write_microseconds",
         "Time spent writing responses to the socket.", labels);
@@ -111,6 +124,8 @@ struct Pending {
   std::uint64_t id = 0;  ///< binary request id; 0 on the line protocol
   std::string text;      ///< request text (kQuery / kControl)
   std::string ready;     ///< response bytes (kReady)
+  /// Arrival time; the request deadline runs from here.
+  std::chrono::steady_clock::time_point enqueued;
 };
 
 struct Conn {
@@ -129,6 +144,10 @@ struct Conn {
   /// stats banked) when a hot reload swaps the served entry.
   std::unique_ptr<QueryEngine> engine;
   const GraphEntry* engine_entry = nullptr;
+  /// Timeout bookkeeping, swept on epoll ticks: last byte read from the
+  /// peer, and last forward progress writing to it.
+  std::chrono::steady_clock::time_point last_activity;
+  std::chrono::steady_clock::time_point last_write_progress;
 };
 
 struct Job {
@@ -145,6 +164,7 @@ struct Completion {
   std::string response;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::chrono::steady_clock::time_point enqueued;
 };
 
 /// The epoll event loop plus its worker pool: all socket I/O on one
@@ -184,10 +204,21 @@ class Loop {
       workers_.emplace_back([this] { worker(); });
     }
 
+    // Configured timeouts need ticks at roughly half their granularity;
+    // without any, the stock 200ms shutdown-poll tick suffices.
+    int tick_ms = kEpollTimeoutMs;
+    for (const std::size_t t :
+         {options_.request_timeout_ms, options_.idle_timeout_ms,
+          options_.write_timeout_ms}) {
+      if (t != 0) {
+        tick_ms = std::min<int>(
+            tick_ms, std::max<int>(10, static_cast<int>(t / 2)));
+      }
+    }
+
     epoll_event events[64];
     while (true) {
-      const int ready =
-          ::epoll_wait(epoll_fd_, events, 64, kEpollTimeoutMs);
+      const int ready = ::epoll_wait(epoll_fd_, events, 64, tick_ms);
       if (ready < 0 && errno != EINTR) {
         throw std::runtime_error("serve: epoll_wait failed");
       }
@@ -212,6 +243,7 @@ class Loop {
         }
       }
       drain_completions();
+      sweep_timeouts();
       if (!stopping_ && options_.stop != nullptr &&
           options_.stop->load(std::memory_order_relaxed)) {
         begin_shutdown();
@@ -264,10 +296,8 @@ class Loop {
 
   void accept_new() {
     while (true) {
-      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      const int fd = util::io::accept_nonblock(listen_fd_);
       if (fd < 0) {
-        if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         ++stats_.accept_errors;
         metrics_.accept_errors.inc();
@@ -277,6 +307,8 @@ class Loop {
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       auto conn = std::make_shared<Conn>();
       conn->fd = fd;
+      conn->last_activity = std::chrono::steady_clock::now();
+      conn->last_write_progress = conn->last_activity;
       conns_.emplace(fd, conn);
       ++stats_.connections;
       metrics_.connections.inc();
@@ -333,9 +365,8 @@ class Loop {
     char buf[kReadChunk];
     std::size_t total = 0;
     while (total < kMaxReadPerTick) {
-      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      const ssize_t n = util::io::recv_some(conn->fd, buf, sizeof(buf), 0);
       if (n < 0) {
-        if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         disconnect(conn);
         return;
@@ -348,6 +379,7 @@ class Loop {
       total += static_cast<std::size_t>(n);
       metrics_.bytes_in.inc(static_cast<std::uint64_t>(n));
     }
+    if (total > 0) conn->last_activity = std::chrono::steady_clock::now();
     parse(conn);
     if (conn->dead) return;
     if (conn->eof && conn->proto == Conn::Proto::kLine && !conn->in.empty()) {
@@ -448,6 +480,7 @@ class Loop {
     p.kind = Pending::Kind::kQuery;
     p.id = id;
     p.text = std::move(text);
+    p.enqueued = std::chrono::steady_clock::now();
     conn->queue.push_back(std::move(p));
   }
 
@@ -483,6 +516,15 @@ class Loop {
           break;
         }
         case Pending::Kind::kQuery: {
+          if (past_deadline(item.enqueued)) {
+            // Shed at dispatch: the deadline already passed while the
+            // request waited its FIFO turn, so answer the typed error
+            // in order instead of burning a worker on it.
+            ++stats_.timeouts;
+            metrics_.timeout_requests.inc();
+            respond(conn, item.id, "error: deadline exceeded");
+            break;
+          }
           conn->executing = true;
           ++inflight_jobs_;
           Job job;
@@ -502,9 +544,20 @@ class Loop {
     }
   }
 
+  [[nodiscard]] bool past_deadline(
+      std::chrono::steady_clock::time_point enqueued) const {
+    return options_.request_timeout_ms != 0 &&
+           std::chrono::steady_clock::now() - enqueued >
+               std::chrono::milliseconds(options_.request_timeout_ms);
+  }
+
   void respond(const std::shared_ptr<Conn>& conn, std::uint64_t id,
                std::string_view line) {
     if (conn->dead) return;
+    if (conn->out.empty()) {
+      // The write-stall clock starts when output first becomes pending.
+      conn->last_write_progress = std::chrono::steady_clock::now();
+    }
     if (conn->proto == Conn::Proto::kBinary) {
       wire::encode_response(conn->out, wire::status_for_response(line), id,
                             line);
@@ -544,6 +597,10 @@ class Loop {
     fields.accept_errors = stats_.accept_errors;
     fields.backlog = SOMAXCONN;
     fields.epoch = entry_->epoch();
+    if (options_.request_timeout_ms != 0 || options_.idle_timeout_ms != 0 ||
+        options_.write_timeout_ms != 0) {
+      fields.timeouts = stats_.timeouts;
+    }
     fields.cache = options_.cache;
     return render_stats_line(fields);
   }
@@ -557,9 +614,8 @@ class Loop {
     while (!conn->out.empty()) {
       const std::size_t chunk = std::min(conn->out.size(), kMaxSendPerCall);
       const ssize_t n =
-          ::send(conn->fd, conn->out.data(), chunk, MSG_NOSIGNAL);
+          util::io::send_some(conn->fd, conn->out.data(), chunk, MSG_NOSIGNAL);
       if (n < 0) {
-        if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         metrics_.bytes_out.inc(sent_bytes);
         disconnect(conn);  // EPIPE/ECONNRESET: client left mid-response
@@ -572,8 +628,42 @@ class Loop {
       metrics_.bytes_out.inc(sent_bytes);
       metrics_.socket_write.observe_micros(
           static_cast<std::uint64_t>(write_timer.micros()));
+      conn->last_write_progress = std::chrono::steady_clock::now();
     }
     update_interest(conn);
+  }
+
+  // --- timeouts -------------------------------------------------------------
+
+  /// Epoll-tick sweep for idle and slow-reader connections.  Victims are
+  /// collected first: disconnect mutates conns_.
+  void sweep_timeouts() {
+    if (options_.idle_timeout_ms == 0 && options_.write_timeout_ms == 0) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::pair<std::shared_ptr<Conn>, bool>> victims;
+    for (const auto& [fd, conn] : conns_) {
+      if (conn->dead) continue;
+      if (options_.write_timeout_ms != 0 && !conn->out.empty() &&
+          now - conn->last_write_progress >
+              std::chrono::milliseconds(options_.write_timeout_ms)) {
+        victims.emplace_back(conn, /*write=*/true);
+        continue;
+      }
+      if (options_.idle_timeout_ms != 0 && conn->out.empty() &&
+          conn->queue.empty() && !conn->executing && conn->in.empty() &&
+          !conn->eof &&
+          now - conn->last_activity >
+              std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        victims.emplace_back(conn, /*write=*/false);
+      }
+    }
+    for (const auto& [conn, write] : victims) {
+      ++stats_.timeouts;
+      (write ? metrics_.timeout_write : metrics_.timeout_idle).inc();
+      disconnect(conn);
+    }
   }
 
   // --- completions ----------------------------------------------------------
@@ -594,7 +684,16 @@ class Loop {
         bank_engine(*conn);
         continue;
       }
-      respond(conn, completion.id, completion.response);
+      if (past_deadline(completion.enqueued)) {
+        // The worker finished, but past the deadline: the client was
+        // promised a bounded answer, so the typed error replaces the
+        // late result (same FIFO slot, order preserved).
+        ++stats_.timeouts;
+        metrics_.timeout_requests.inc();
+        respond(conn, completion.id, "error: deadline exceeded");
+      } else {
+        respond(conn, completion.id, completion.response);
+      }
       pump(conn);
       if (conn->dead) continue;
       flush_out(conn);
@@ -645,6 +744,7 @@ class Loop {
       }
       Completion completion;
       completion.id = job.id;
+      completion.enqueued = job.enqueued;
       {
         // Trace the worker-side request lifetime; queue wait (dispatch to
         // pickup) is attributed explicitly since it predates the scope.

@@ -57,6 +57,20 @@ struct TcpServerOptions {
   /// Hot-reload hook: returns a freshly opened entry (new epoch) for the
   /// `reload` control request; empty = reload unavailable.
   std::function<std::shared_ptr<const GraphEntry>()> reload;
+  /// Request deadline in milliseconds (0 = none).  A query whose age
+  /// (enqueue to response) exceeds the deadline answers a typed
+  /// `error: deadline exceeded` through the normal FIFO — order is
+  /// preserved, and queued requests past deadline are shed without
+  /// dispatching to a worker.
+  std::size_t request_timeout_ms = 0;
+  /// Close a connection with no traffic and nothing pending after this
+  /// many milliseconds (0 = never).  Reclaims epoll state held by
+  /// silent peers without disturbing other connections.
+  std::size_t idle_timeout_ms = 0;
+  /// Disconnect a client that accepts no response bytes for this many
+  /// milliseconds while output is pending (0 = never) — a slow-reader
+  /// bound tighter than the admission-control byte budget.
+  std::size_t write_timeout_ms = 0;
 };
 
 struct TcpServeStats {
@@ -69,6 +83,7 @@ struct TcpServeStats {
   std::uint64_t protocol_errors = 0;  ///< malformed binary frames
   std::uint64_t disconnects = 0;      ///< mid-session client disconnects
   std::uint64_t reloads = 0;          ///< successful hot reloads
+  std::uint64_t timeouts = 0;         ///< deadline + idle + write timeouts
   QueryEngineStats engine;            ///< merged across connection engines
   bool shutdown_requested = false;    ///< a client sent `shutdown`
 };

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/io.h"
+
 namespace gsb::storage {
 namespace {
 
@@ -56,24 +58,18 @@ std::uint64_t decode_leb128(std::span<const unsigned char> bytes,
 // --- writer -----------------------------------------------------------------
 
 GsbcWriter::GsbcWriter(const std::string& path, std::size_t order)
-    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
-  if (!out_) fail("cannot open '" + path + "' for writing");
+    : path_(path), out_(std::make_unique<util::io::FileWriter>(path)) {
   header_.n = order;
   char raw[kGsbcHeaderBytes];
   serialize_header(raw, header_);  // placeholder; patched in close()
-  out_.write(raw, sizeof(raw));
+  out_->write(raw, sizeof(raw));
   buffer_.reserve(kIoBuffer);
   open_ = true;
 }
 
-GsbcWriter::~GsbcWriter() {
-  if (open_) {
-    try {
-      close();
-    } catch (...) {  // NOLINT — destructor must not throw
-    }
-  }
-}
+// An abandoned writer discards its temp file (FileWriter's destructor);
+// the destination path is untouched.
+GsbcWriter::~GsbcWriter() = default;
 
 void GsbcWriter::put_varint(std::uint64_t value) {
   append_leb128(buffer_, value);
@@ -82,8 +78,7 @@ void GsbcWriter::put_varint(std::uint64_t value) {
 void GsbcWriter::flush_buffer() {
   if (buffer_.empty()) return;
   sum_.update(buffer_.data(), buffer_.size());
-  out_.write(reinterpret_cast<const char*>(buffer_.data()),
-             static_cast<std::streamsize>(buffer_.size()));
+  out_->write(buffer_.data(), buffer_.size());
   payload_bytes_ += buffer_.size();
   buffer_.clear();
 }
@@ -120,11 +115,8 @@ GsbcWriteStats GsbcWriter::close() {
   header_.checksum = sum_.digest();
   char raw[kGsbcHeaderBytes];
   serialize_header(raw, header_);
-  out_.seekp(0);
-  out_.write(raw, sizeof(raw));
-  out_.flush();
-  if (!out_) fail("write failed for '" + path_ + "'");
-  out_.close();
+  out_->write_at(0, raw, sizeof(raw));
+  out_->commit();  // fsync + atomic rename into path_
   return GsbcWriteStats{header_.clique_count, header_.member_total,
                         header_.max_size,
                         kGsbcHeaderBytes + payload_bytes_};

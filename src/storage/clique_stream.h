@@ -16,12 +16,17 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "storage/gsbc_format.h"
+
+namespace gsb::util::io {
+class FileWriter;
+}  // namespace gsb::util::io
 
 namespace gsb::storage {
 
@@ -50,12 +55,13 @@ struct GsbcWriteStats {
 /// Streaming `.gsbc` writer.
 class GsbcWriter {
  public:
-  /// Opens \p path for writing and reserves the header.  \p order is the
-  /// vertex universe of the source graph (member ids must be < order).
+  /// Opens `<path>.tmp.<pid>` for writing and reserves the header.
+  /// \p order is the vertex universe of the source graph (member ids
+  /// must be < order).  Nothing appears at \p path until close().
   GsbcWriter(const std::string& path, std::size_t order);
 
-  /// Closes (best effort) if close() was never called; errors are
-  /// swallowed — call close() to observe them.
+  /// Discards the temp file if close() was never called: an abandoned
+  /// or crashed writer never publishes a partial stream.
   ~GsbcWriter();
 
   GsbcWriter(const GsbcWriter&) = delete;
@@ -65,7 +71,8 @@ class GsbcWriter {
   /// rejected, as is an id >= order or an empty clique).
   void append(std::span<const graph::VertexId> clique);
 
-  /// Flushes, patches the header with counts and checksum, and closes.
+  /// Flushes, patches the header with counts and checksum, fsyncs, and
+  /// atomically renames the temp file into place.
   GsbcWriteStats close();
 
   [[nodiscard]] std::uint64_t clique_count() const noexcept {
@@ -77,7 +84,7 @@ class GsbcWriter {
   void flush_buffer();
 
   std::string path_;
-  std::ofstream out_;
+  std::unique_ptr<util::io::FileWriter> out_;
   GsbcHeader header_;
   Fnv1a sum_;
   std::vector<unsigned char> buffer_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <fstream>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "bitset/dynamic_bitset.h"
 #include "bitset/wah_bitset.h"
 #include "storage/gsbg_format.h"
+#include "util/io.h"
 
 namespace gsb::storage {
 namespace {
@@ -131,11 +131,10 @@ class CsrSource final : public RowSource {
 /// Checksummed sequential writer for everything after the header.
 class PayloadWriter {
  public:
-  PayloadWriter(std::ofstream& out) : out_(out) {}
+  PayloadWriter(util::io::FileWriter& out) : out_(out) {}
 
   void raw(const void* data, std::size_t bytes) {
-    out_.write(static_cast<const char*>(data),
-               static_cast<std::streamsize>(bytes));
+    out_.write(data, bytes);
     sum_.update(data, bytes);
     pos_ += bytes;
   }
@@ -164,13 +163,14 @@ class PayloadWriter {
   }
 
  private:
-  std::ofstream& out_;
+  util::io::FileWriter& out_;
   Fnv1a sum_;
   std::uint64_t pos_ = 0;  ///< bytes written past the header
 };
 
-void write_header(std::ofstream& out, const GsbgHeader& header) {
-  char buffer[kHeaderBytes] = {};
+void serialize_header(const GsbgHeader& header,
+                      char (&buffer)[kHeaderBytes]) {
+  std::memset(buffer, 0, sizeof(buffer));
   std::memcpy(buffer, kMagic, sizeof(kMagic));
   std::memcpy(buffer + 8, &header.version, 4);
   std::memcpy(buffer + 12, &header.flags, 4);
@@ -178,7 +178,6 @@ void write_header(std::ofstream& out, const GsbgHeader& header) {
   std::memcpy(buffer + 24, &header.m, 8);
   std::memcpy(buffer + 32, &header.checksum, 8);
   std::memcpy(buffer + 40, &header.section_count, 8);
-  out.write(buffer, sizeof(buffer));
 }
 
 void write_gsbg(RowSource& source, const std::string& path,
@@ -234,15 +233,18 @@ void write_gsbg(RowSource& source, const std::string& path,
     cursor = align_up(section.offset + section.size);
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) fail("cannot open '" + path + "' for writing");
+  // Crash safety: all bytes land in `<path>.tmp.<pid>`; commit() below
+  // fsyncs and atomically renames, so `path` is never a torn container.
+  util::io::FileWriter out(path);
 
   GsbgHeader header;
   header.flags = source.relabeled() ? kFlagDegreeSorted : 0u;
   header.n = n;
   header.m = source.num_edges();
   header.section_count = sections.size();
-  write_header(out, header);  // checksum patched below
+  char header_bytes[kHeaderBytes];
+  serialize_header(header, header_bytes);  // checksum patched below
+  out.write(header_bytes, sizeof(header_bytes));
 
   PayloadWriter payload(out);
   for (const auto& section : sections) {
@@ -303,10 +305,9 @@ void write_gsbg(RowSource& source, const std::string& path,
   payload.pad_to(cursor);
 
   header.checksum = payload.checksum();
-  out.seekp(0);
-  write_header(out, header);
-  out.flush();
-  if (!out) fail("write failed for '" + path + "'");
+  serialize_header(header, header_bytes);
+  out.write_at(0, header_bytes, sizeof(header_bytes));
+  out.commit();
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #endif
 
 #include "bitset/dynamic_bitset.h"
+#include "util/io.h"
 
 namespace gsb::storage {
 namespace {
@@ -85,7 +86,7 @@ MappedGraph MappedGraph::open(const std::string& path,
   MappedGraph g;
 
 #if GSB_HAVE_MMAP
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = util::io::open_for_read(path.c_str());
   if (fd < 0) fail("cannot open '" + path + "' for reading");
   struct stat st{};
   if (::fstat(fd, &st) != 0 || st.st_size < 0) {
@@ -94,7 +95,7 @@ MappedGraph MappedGraph::open(const std::string& path,
   }
   g.map_bytes_ = static_cast<std::size_t>(st.st_size);
   if (g.map_bytes_ > 0) {
-    void* map = ::mmap(nullptr, g.map_bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+    void* map = util::io::mmap_read(g.map_bytes_, fd);
     ::close(fd);
     if (map == MAP_FAILED) fail("mmap failed for '" + path + "'");
     g.base_ = static_cast<const char*>(map);
