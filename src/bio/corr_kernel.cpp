@@ -1,13 +1,12 @@
 #include "bio/corr_kernel.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "parallel/job_graph.h"
 
 namespace gsb::bio {
 namespace {
@@ -290,31 +289,34 @@ void correlation_cross(const AlignedRows& a, std::size_t a_count,
     return;
   }
 
-  // Blocks are claimed dynamically but their hits pass through a reorder
-  // buffer, so the sink sees the exact sequence of the sequential path.
-  std::atomic<std::size_t> next{0};
-  std::mutex mutex;
-  std::vector<std::vector<Hit>> completed(tasks.size());
-  std::vector<unsigned char> ready(tasks.size(), 0);
-  std::size_t emit = 0;
-  pool->run_round([&](std::size_t) {
+  // One scheduler job per tile; bodies run work-stealing across the
+  // pool while the ordered completions replay each tile's hits in task
+  // order, so the sink sees the exact sequence of the sequential path.
+  par::JobGraph::Options graph_options;
+  graph_options.ordered = true;
+  par::JobGraph jobs(pool, graph_options);
+  struct Scratch {
     std::vector<double> dense;
     std::vector<double> pack;
-    while (true) {
-      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
-      if (t >= tasks.size()) return;
+  };
+  std::vector<Scratch> scratch(jobs.workers());
+  std::vector<std::vector<Hit>> completed(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    par::JobGraph::JobSpec spec;
+    spec.run = [&, t](std::size_t wid) {
+      Scratch& s = scratch[wid];
       std::vector<Hit> hits;
-      scan_task(tasks[t], dense, pack, hits);
-      std::lock_guard<std::mutex> lock(mutex);
+      scan_task(tasks[t], s.dense, s.pack, hits);
+      jobs.set_bytes(static_cast<par::JobId>(t), hits.size() * sizeof(Hit));
       completed[t] = std::move(hits);
-      ready[t] = 1;
-      while (emit < tasks.size() && ready[emit] != 0) {
-        for (const Hit& h : completed[emit]) sink(h.u, h.v, h.corr);
-        completed[emit] = {};
-        ++emit;
-      }
-    }
-  });
+    };
+    spec.complete = [&, t] {
+      for (const Hit& h : completed[t]) sink(h.u, h.v, h.corr);
+      completed[t] = {};
+    };
+    jobs.add(std::move(spec));
+  }
+  jobs.run();
 }
 
 void correlation_self(const AlignedRows& rows, std::size_t count,

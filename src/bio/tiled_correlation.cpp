@@ -205,6 +205,12 @@ TiledCorrelationResult build_correlation_gsbg(
   // fixed sequence, so the spill file — and the final container — is
   // byte-identical at every thread count.
   std::uint64_t edges = 0;
+  // Degrees stream out of the sweep itself (counting is order-free), so
+  // the spill file is read once, for the scatter, instead of twice.
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  DualAlloc offsets_bytes(tracker, external,
+                          offsets.capacity() * sizeof(std::uint64_t),
+                          MemTag::kGraph);
   {
     auto std_in = open_in(std_file.path());
     auto read_tile = [&](std::size_t first, std::size_t count,
@@ -245,6 +251,8 @@ TiledCorrelationResult build_correlation_gsbg(
     sweep.pool = pool ? &*pool : nullptr;
     const CorrEdgeSink sink = [&](std::uint32_t u, std::uint32_t v, double) {
       edge_buffer.push_back(SpillEdge{u, v});
+      ++offsets[u + 1];
+      ++offsets[v + 1];
       ++edges;
       if (edge_buffer.size() == edge_buffer.capacity()) flush_edges();
     };
@@ -272,14 +280,13 @@ TiledCorrelationResult build_correlation_gsbg(
   result.edges = edges;
 
   // --- pass 3: spill -> CSR -> streaming .gsbg writer -----------------------
+  // Degrees were counted in-flight above, so the spill is swept exactly
+  // once here, for the scatter.
   {
-    std::vector<std::uint64_t> offsets(n + 1, 0);
     std::vector<std::uint32_t> targets(2 * edges);
-    DualAlloc csr_bytes(
-        tracker, external,
-        offsets.capacity() * sizeof(std::uint64_t) +
-            targets.capacity() * sizeof(std::uint32_t),
-        MemTag::kGraph);
+    DualAlloc csr_bytes(tracker, external,
+                        targets.capacity() * sizeof(std::uint32_t),
+                        MemTag::kGraph);
 
     auto sweep_spill = [&](auto&& per_edge) {
       auto in = open_in(edge_file.path());
@@ -297,10 +304,6 @@ TiledCorrelationResult build_correlation_gsbg(
       }
     };
 
-    sweep_spill([&](const SpillEdge& e) {
-      ++offsets[e.u + 1];
-      ++offsets[e.v + 1];
-    });
     for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
 
     std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);

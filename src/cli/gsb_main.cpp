@@ -64,6 +64,7 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pipeline/overlap.h"
 #include "service/artifact_verify.h"
 #include "service/batch_executor.h"
 #include "service/client.h"
@@ -132,6 +133,12 @@ pipeline flags:
   --hubs H                  hub genes reported           (10)
   --seed X                  RNG seed                     (2005)
   --clique-out FILE.gsbc    stream cliques to disk instead of collecting
+  --overlap                 schedule analysis stages as a dependency DAG:
+                            independent stages run concurrently, hubs start
+                            the moment enumeration finishes, and mapped
+                            .gsbg inputs prefetch behind compute; artifacts
+                            and stage output stay byte-identical to the
+                            default staged order
   --csv PREFIX              also write PREFIX_*.csv tables
 
 cliques flags: <file|-> [--graph-file FILE] [--format dimacs|edges|binary|gsbg]
@@ -376,6 +383,7 @@ int cmd_pipeline(const util::Cli& cli) {
   const auto hub_count = size_flag(cli, "hubs", 10);
   const std::string csv = cli.get("csv", "");
   const std::string clique_out = cli.get("clique-out", "");
+  const bool overlap = cli.get_bool("overlap", false);
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 2005)));
 
   // --- stage 1-3: expression -> normalize -> thresholded correlation graph.
@@ -465,48 +473,40 @@ int cmd_pipeline(const util::Cli& cli) {
   }
   const graph::GraphView& g = input.view;
 
-  // --- stage 4: maximum clique fixes the enumeration upper bound (§2.1).
-  const auto max_result = core::maximum_clique(g);
-  std::printf("maximum clique: %zu vertices (%s)\n", max_result.clique.size(),
-              util::format_seconds(max_result.seconds).c_str());
-
-  // --- stage 5: bounded maximal clique enumeration.  With --clique-out the
-  // cliques are spilled to a .gsbc stream as they are emitted; only the
-  // per-vertex participation counts and the size spectrum accumulate in
-  // RAM (both in-flight in the sink).  Otherwise they are collected.
+  // --- stages 4-7: maximum clique, bounded enumeration (optionally
+  // spilled to a .gsbc stream), paraclique extraction, hub report — all
+  // through pipeline::run_analysis.  Staged mode (the default) runs them
+  // inline in submission order, exactly the historical sequence;
+  // --overlap schedules them as a par::JobGraph so independent stages
+  // run concurrently, the hub report releases the moment enumeration
+  // finishes, and a prefetch job pages a mapped .gsbg in behind compute.
+  // Both modes produce byte-identical artifacts and stage output.
   const core::SizeRange range{init_k, max_k};
-  core::EnumerationStats stats;
-  std::vector<core::Clique> cliques;
-  std::vector<std::uint32_t> participation;
-  analysis::CliqueSpectrum spectrum;
-  if (clique_out.empty()) {
-    core::CliqueCollector collector;
-    stats = enumerate(g, range, threads, collector.callback());
-    cliques = std::move(collector.cliques());
-    spectrum = analysis::clique_spectrum(cliques);
-  } else {
-    storage::GsbcWriter writer(clique_out, g.order());
-    participation.assign(g.order(), 0);
-    std::vector<graph::VertexId> members;
-    const core::CliqueCallback sink =
-        [&](std::span<const graph::VertexId> clique) {
-          for (const graph::VertexId v : clique) ++participation[v];
-          // Spectrum accumulated in-flight — no second pass over a stream
-          // that may dwarf RAM.
-          spectrum.add(clique.size());
-          // The stream stores original labels (the writer re-sorts).
-          members.assign(clique.begin(), clique.end());
-          for (auto& v : members) v = input.original_id(v);
-          writer.append(members);
-        };
-    stats = enumerate(g, range, threads, sink);
-    const auto written = writer.close();
+  pipeline::AnalysisOptions analysis_options;
+  analysis_options.range = range;
+  analysis_options.threads = threads;
+  analysis_options.glom = glom;
+  analysis_options.min_paraclique = min_para;
+  analysis_options.hub_count = hub_count;
+  analysis_options.clique_out = clique_out;
+  analysis_options.overlap = overlap;
+  analysis_options.original_id = [&input](graph::VertexId v) {
+    return input.original_id(v);
+  };
+  if (input.use_mapped) analysis_options.prefetch = &input.mapped;
+  const auto analysis_result = pipeline::run_analysis(g, analysis_options);
+
+  std::printf("maximum clique: %zu vertices (%s)\n",
+              analysis_result.maximum.clique.size(),
+              util::format_seconds(analysis_result.maximum.seconds).c_str());
+  const core::EnumerationStats& stats = analysis_result.enumeration;
+  if (analysis_result.streamed) {
+    const storage::GsbcWriteStats& written = analysis_result.stream;
     std::printf("clique stream: %s <- %llu cliques, %llu members (%s)\n",
                 clique_out.c_str(),
                 static_cast<unsigned long long>(written.clique_count),
                 static_cast<unsigned long long>(written.member_total),
                 util::format_bytes(written.file_bytes).c_str());
-    spectrum.finalize();
   }
   std::printf("maximal cliques in [%zu, %s]: %llu (%s, %zu threads)\n",
               range.lo,
@@ -517,7 +517,7 @@ int cmd_pipeline(const util::Cli& cli) {
                                  std::thread::hardware_concurrency())
                            : threads);
   util::TableWriter size_table({"clique size", "count"});
-  for (const auto& [size, count] : spectrum.size_histogram) {
+  for (const auto& [size, count] : analysis_result.spectrum.size_histogram) {
     size_table.add_row(
         {util::format("%zu", size),
          util::format("%llu", static_cast<unsigned long long>(count))});
@@ -525,11 +525,7 @@ int cmd_pipeline(const util::Cli& cli) {
   size_table.print();
   if (!csv.empty()) size_table.write_csv(csv + "_cliques.csv");
 
-  // --- stage 6: paraclique extraction (glom factor per the paper).
-  analysis::ParacliqueOptions para_options;
-  para_options.glom = glom;
-  const auto paracliques =
-      analysis::extract_all_paracliques(g, min_para, para_options);
+  const auto& paracliques = analysis_result.paracliques;
   util::TableWriter para_table(
       {"paraclique", "members", "seed", "density"});
   for (std::size_t i = 0; i < paracliques.size(); ++i) {
@@ -544,13 +540,9 @@ int cmd_pipeline(const util::Cli& cli) {
   para_table.print();
   if (!csv.empty()) para_table.write_csv(csv + "_paracliques.csv");
 
-  // --- stage 7: hub report (the paper's Lin7c-style analysis).  Vertex ids
-  // are reported in the original labeling even for degree-sorted containers.
-  // The spill path ranks from the participation counts accumulated during
-  // enumeration — the clique set itself was never held in memory.
-  const auto hubs = clique_out.empty()
-                        ? analysis::top_hubs(g, cliques, hub_count)
-                        : analysis::top_hubs(g, participation, hub_count);
+  // Hub vertex ids are reported in the original labeling even for
+  // degree-sorted containers.
+  const auto& hubs = analysis_result.hubs;
   util::TableWriter hub_table({"rank", "vertex", "degree", "cliques"});
   for (std::size_t i = 0; i < hubs.size(); ++i) {
     hub_table.add_row({util::format("%zu", i + 1),
@@ -561,6 +553,18 @@ int cmd_pipeline(const util::Cli& cli) {
   std::printf("top %zu hub vertices:\n", hubs.size());
   hub_table.print();
   if (!csv.empty()) hub_table.write_csv(csv + "_hubs.csv");
+
+  if (overlap) {
+    const par::JobGraphStats& sched = analysis_result.sched;
+    std::printf(
+        "scheduler: %llu jobs (%llu stolen), peak ready %llu, "
+        "prefetched %s, stages %s\n",
+        static_cast<unsigned long long>(sched.jobs_run),
+        static_cast<unsigned long long>(sched.jobs_stolen),
+        static_cast<unsigned long long>(sched.peak_ready),
+        util::format_bytes(analysis_result.prefetched_bytes).c_str(),
+        util::format_seconds(analysis_result.seconds).c_str());
+  }
 
   print_memory_summary(csv, ooc_peak_bytes);
   return 0;

@@ -1,15 +1,15 @@
 #include "core/parallel_bk.h"
 
 #include <algorithm>
-#include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <utility>
 
 #include "bitset/dynamic_bitset.h"
 #include "core/detail/bk_kernel.h"
-#include "core/detail/task_claims.h"
 #include "graph/transforms.h"
 #include "obs/metrics.h"
+#include "parallel/job_graph.h"
 #include "parallel/thread_pool.h"
 #include "util/timer.h"
 
@@ -19,120 +19,36 @@ namespace {
 using bits::DynamicBitset;
 using graph::VertexId;
 
-/// Serializing reorder-buffer sink: workers hand in one flat buffer of
-/// size-prefixed cliques per completed root; the buffer is emitted once
-/// every earlier root has been emitted (deterministic mode) or immediately
-/// (completion order).  The sink only ever runs under the mutex, so it is
-/// never invoked concurrently, and pending bytes are accounted and held to
-/// a window by backpressure, exploiting a structural fact: every queue of
-/// the assignment is ascending in task index, so the next-to-emit root is
-/// always at the head of whichever queue still holds it.  A worker whose
-/// gate finds the window full therefore either waits (the next-to-emit
-/// root is already running on some thread — its completion must be waited
-/// *for*) or is redirected to claim exactly that root's queue head, which
-/// drains the merge instead of growing it.  Deadlock-free: a thread only
-/// ever waits while another thread is running the root the merge needs,
-/// and that runner never waits (the gate sits between roots).
-class ReorderEmitter {
- public:
-  /// Sentinel for "claim from your own queue as usual".
-  static constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
+/// Per-worker enumeration state, built lazily on a worker's first root.
+/// The sink object must outlive the search (BkPivotSearch keeps a
+/// reference), so both live here together.
+struct BkWorker {
+  std::vector<VertexId> buffer;  ///< flat size-prefixed clique records
+  CliqueCallback local_sink;
+  std::unique_ptr<detail::BkPivotSearch> search;
+  DynamicBitset cand;
+  DynamicBitset not_set;
+  double busy_seconds = 0.0;
 
-  ReorderEmitter(std::size_t roots, const CliqueCallback& sink,
-                 bool deterministic, std::size_t window_bytes,
-                 const std::vector<std::uint32_t>& queue_of,
-                 util::MemoryTracker& tracker)
-      : sink_(sink),
-        deterministic_(deterministic),
-        window_bytes_(window_bytes),
-        queue_of_(queue_of),
-        tracker_(tracker),
-        pending_(deterministic ? roots : 0),
-        done_(deterministic ? roots : 0, false),
-        claimed_(deterministic ? roots : 0, false) {}
-
-  ~ReorderEmitter() {
-    // All roots drain before the round ends; release is for the window
-    // accounting of an exception path only.
-    tracker_.release(pending_bytes_, util::MemTag::kCliqueStorage);
+  BkWorker(const graph::GraphView& g, const SizeRange& range)
+      : cand(g.order()), not_set(g.order()) {
+    local_sink = [this](std::span<const VertexId> clique) {
+      buffer.push_back(static_cast<VertexId>(clique.size()));
+      buffer.insert(buffer.end(), clique.begin(), clique.end());
+    };
+    search = std::make_unique<detail::BkPivotSearch>(g, local_sink, range);
   }
-
-  /// Called by a worker before claiming its next root.  Returns kNoTarget
-  /// for a normal claim, or the queue whose head the worker should claim
-  /// to pull the next-to-emit root forward.
-  std::size_t backpressure_gate() {
-    if (!deterministic_ || window_bytes_ == 0) return kNoTarget;
-    std::unique_lock<std::mutex> lock(mutex_);
-    drained_cv_.wait(lock, [&] {
-      return pending_bytes_ <= window_bytes_ || cursor_ >= pending_.size() ||
-             !claimed_[cursor_];
-    });
-    if (pending_bytes_ > window_bytes_ && cursor_ < pending_.size()) {
-      return queue_of_[cursor_];
-    }
-    return kNoTarget;
-  }
-
-  /// Called by a worker right after claiming root \p root_index.
-  void note_claimed(std::size_t root_index) {
-    if (!deterministic_) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
-    claimed_[root_index] = true;
-  }
-
-  void complete(std::size_t root_index, std::vector<VertexId>&& cliques) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (!deterministic_) {
-      drain(cliques);
-      return;
-    }
-    const std::size_t bytes = cliques.size() * sizeof(VertexId);
-    pending_bytes_ += bytes;
-    peak_pending_bytes_ = std::max(peak_pending_bytes_, pending_bytes_);
-    tracker_.allocate(bytes, util::MemTag::kCliqueStorage);
-    pending_[root_index] = std::move(cliques);
-    done_[root_index] = true;
-    bool advanced = false;
-    while (cursor_ < pending_.size() && done_[cursor_]) {
-      drain(pending_[cursor_]);
-      const std::size_t freed = pending_[cursor_].size() * sizeof(VertexId);
-      tracker_.release(freed, util::MemTag::kCliqueStorage);
-      pending_bytes_ -= freed;
-      pending_[cursor_] = {};
-      ++cursor_;
-      advanced = true;
-    }
-    if (advanced) drained_cv_.notify_all();
-  }
-
-  [[nodiscard]] std::size_t peak_pending_bytes() const noexcept {
-    return peak_pending_bytes_;
-  }
-
- private:
-  void drain(const std::vector<VertexId>& flat) {
-    std::size_t i = 0;
-    while (i < flat.size()) {
-      const std::size_t size = flat[i++];
-      sink_(std::span<const VertexId>(&flat[i], size));
-      i += size;
-    }
-  }
-
-  const CliqueCallback& sink_;
-  bool deterministic_;
-  std::size_t window_bytes_;
-  const std::vector<std::uint32_t>& queue_of_;  ///< task index -> queue
-  util::MemoryTracker& tracker_;
-  std::mutex mutex_;
-  std::condition_variable drained_cv_;
-  std::vector<std::vector<VertexId>> pending_;
-  std::vector<bool> done_;
-  std::vector<bool> claimed_;
-  std::size_t cursor_ = 0;
-  std::size_t pending_bytes_ = 0;
-  std::size_t peak_pending_bytes_ = 0;
 };
+
+/// Replays one root's flat buffer into the caller's sink.
+void drain_flat(const CliqueCallback& sink, const std::vector<VertexId>& flat) {
+  std::size_t i = 0;
+  while (i < flat.size()) {
+    const std::size_t size = flat[i++];
+    sink(std::span<const VertexId>(&flat[i], size));
+    i += size;
+  }
+}
 
 }  // namespace
 
@@ -175,8 +91,8 @@ ParallelBkStats parallel_bk(const graph::GraphView& g,
     costs[i] = later * later * later / 6 + later + 1;
   }
   // Roots are dealt round-robin so every thread's queue spans the whole
-  // root order: the reorder buffer then drains steadily instead of waiting
-  // for thread 0's contiguous block to finish.
+  // root order: the scheduler's reorder window then drains steadily
+  // instead of waiting for thread 0's contiguous block to finish.
   std::vector<std::uint32_t> home(n);
   for (std::size_t i = 0; i < n; ++i) {
     home[i] = static_cast<std::uint32_t>(i % num_threads);
@@ -184,87 +100,123 @@ ParallelBkStats parallel_bk(const graph::GraphView& g,
   const par::LoadBalancer balancer(options.balancer);
   const par::Assignment assignment = balancer.assign(costs, home, num_threads);
   stats.transfers = assignment.transfers;
-  detail::TaskClaims claims(assignment, options.dynamic_claiming);
-
   std::vector<std::uint32_t> queue_of(n, 0);
   for (std::uint32_t t = 0; t < num_threads; ++t) {
     for (const std::uint32_t task_index : assignment.tasks[t]) {
       queue_of[task_index] = t;
     }
   }
-  ReorderEmitter emitter(n, sink, options.deterministic,
-                         options.reorder_window_bytes, queue_of, tracker);
-  std::vector<BronKerboschStats> worker_stats(num_threads);
 
+  // --- schedule: one job per root on the DAG scheduler ----------------------
+  // JobId == root index, so the scheduler's ordered-completion drain
+  // (strict JobId order) reproduces the sequential degeneracy emission
+  // sequence, and its window backpressure replaces the old bespoke
+  // reorder buffer: when finished-but-undrained output exceeds the
+  // window, workers are redirected to the next-to-emit root.
   par::ThreadPool pool(num_threads);
-  pool.run_round([&](std::size_t tid) {
-    const double cpu_begin = util::thread_cpu_seconds();
-    // Per-root output buffer, flat size-prefixed records; the sink below
-    // appends to whichever buffer is current.
-    std::vector<VertexId> buffer;
-    const CliqueCallback local_sink =
-        [&buffer](std::span<const VertexId> clique) {
-          buffer.push_back(static_cast<VertexId>(clique.size()));
-          buffer.insert(buffer.end(), clique.begin(), clique.end());
-        };
-    detail::BkPivotSearch search(g, local_sink, options.range);
-    DynamicBitset cand(n);
-    DynamicBitset not_set(n);
-    while (true) {
-      const std::size_t target = emitter.backpressure_gate();
-      std::int64_t task = target == ReorderEmitter::kNoTarget
-                              ? claims.next(tid)
-                              : claims.claim_from(target, tid);
-      if (task < 0 && target != ReorderEmitter::kNoTarget) {
-        // Lost the race for the merge's root — or a static plan forbids
-        // the cross-queue pull; fall back to the normal claim.
-        task = claims.next(tid);
-      }
-      if (task < 0) break;
-      const auto i = static_cast<std::size_t>(task);
-      emitter.note_claimed(i);
+  par::JobGraph::Options graph_options;
+  graph_options.ordered = options.deterministic;
+  graph_options.window_bytes = options.reorder_window_bytes;
+  graph_options.steal = options.dynamic_claiming;
+  par::JobGraph jobs(&pool, graph_options);
+
+  std::vector<std::unique_ptr<BkWorker>> workers(jobs.workers());
+  auto worker_for = [&](std::size_t wid) -> BkWorker& {
+    if (!workers[wid]) {
+      workers[wid] = std::make_unique<BkWorker>(g, options.range);
+    }
+    return *workers[wid];
+  };
+
+  // Per-root output parked between body finish and ordered drain; the
+  // bytes are tracked (MemTag::kCliqueStorage) for exactly that span.
+  std::vector<std::vector<VertexId>> slots(options.deterministic ? n : 0);
+  std::vector<std::size_t> slot_bytes(options.deterministic ? n : 0, 0);
+  // Completion-order mode drains inside the body; the sink contract
+  // ("never invoked concurrently") then needs its own serialization.
+  std::mutex emit_mutex;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    par::JobGraph::JobSpec spec;
+    spec.home = queue_of[i];
+    spec.run = [&, i](std::size_t wid) {
+      const double cpu_begin = util::thread_cpu_seconds();
+      BkWorker& w = worker_for(wid);
+      w.buffer.clear();
       const VertexId v = deg.order[i];
-      cand.clear_all();
-      not_set.clear_all();
+      w.cand.clear_all();
+      w.not_set.clear_all();
       g.neighbors(v).for_each([&](std::size_t u) {
         if (pos[u] > i) {
-          cand.set(u);
+          w.cand.set(u);
         } else {
-          not_set.set(u);
+          w.not_set.set(u);
         }
       });
-      search.run_root(v, cand, not_set);
-      emitter.complete(i, std::move(buffer));
-      buffer.clear();
+      w.search->run_root(v, w.cand, w.not_set);
+      if (options.deterministic) {
+        const std::size_t bytes = w.buffer.size() * sizeof(VertexId);
+        slots[i] = std::move(w.buffer);
+        w.buffer = {};
+        slot_bytes[i] = bytes;
+        tracker.allocate(bytes, util::MemTag::kCliqueStorage);
+        jobs.set_bytes(static_cast<par::JobId>(i), bytes);
+      } else {
+        const std::lock_guard<std::mutex> lock(emit_mutex);
+        drain_flat(sink, w.buffer);
+      }
+      w.busy_seconds += util::thread_cpu_seconds() - cpu_begin;
+    };
+    if (options.deterministic) {
+      spec.complete = [&, i] {
+        drain_flat(sink, slots[i]);
+        tracker.release(slot_bytes[i], util::MemTag::kCliqueStorage);
+        slots[i] = {};
+        slot_bytes[i] = 0;
+      };
     }
-    worker_stats[tid] = search.stats();
-    stats.thread_busy_seconds[tid] = util::thread_cpu_seconds() - cpu_begin;
-  });
+    jobs.add(std::move(spec));
+  }
 
-  stats.steals = claims.steals();
-  stats.peak_pending_bytes = emitter.peak_pending_bytes();
-  for (const BronKerboschStats& ws : worker_stats) {
+  try {
+    jobs.run();
+  } catch (...) {
+    // A throwing sink cancels the run mid-drain; release the window
+    // accounting of whatever never drained before propagating.
+    for (std::size_t i = 0; i < slot_bytes.size(); ++i) {
+      tracker.release(slot_bytes[i], util::MemTag::kCliqueStorage);
+    }
+    throw;
+  }
+
+  stats.steals = jobs.stats().jobs_stolen;
+  stats.peak_pending_bytes = jobs.stats().peak_pending_bytes;
+  for (std::size_t wid = 0; wid < workers.size(); ++wid) {
+    if (!workers[wid]) continue;
+    const BronKerboschStats ws = workers[wid]->search->stats();
     stats.base.maximal_cliques += ws.maximal_cliques;
     stats.base.tree_nodes += ws.tree_nodes;
     stats.base.max_depth = std::max(stats.base.max_depth, ws.max_depth);
+    if (wid < stats.thread_busy_seconds.size()) {
+      stats.thread_busy_seconds[wid] = workers[wid]->busy_seconds;
+    }
   }
   stats.total_seconds = total_timer.seconds();
 
-  // Fold the run's work-stealing behaviour into the metrics registry so
-  // a serving process exposes enumeration health without plumbing stats
-  // structs through every caller.
+  // Fold the run's scheduling behaviour into the metrics registry so a
+  // serving process exposes enumeration health without plumbing stats
+  // structs through every caller.  The reorder-window high-water mark is
+  // NOT mirrored here: the scheduler already publishes it on
+  // gsb_sched_pending_peak_bytes, the one gauge `gsb serve --metrics`
+  // and the pipeline report both read.
   {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
     static const obs::Counter runs = registry.counter(
         "gsb_bk_runs_total", "Parallel Bron-Kerbosch enumerations.");
     static const obs::Counter steals = registry.counter(
         "gsb_bk_steals_total", "Root tasks stolen across worker threads.");
-    static const obs::Gauge peak_pending = registry.gauge(
-        "gsb_bk_peak_pending_bytes",
-        "High-water bytes buffered in the reorder emitter.");
     runs.inc();
     steals.inc(stats.steals);
-    peak_pending.set_max(stats.peak_pending_bytes);
   }
   return stats;
 }

@@ -1,8 +1,17 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace gsb::par {
+
+namespace {
+/// Pool whose worker is currently executing a round body on this thread;
+/// lets run_round reject the re-entrant call that would otherwise deadlock
+/// (the caller would wait for a round that can never start because every
+/// worker — including itself — is occupied by the current one).
+thread_local const ThreadPool* t_round_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   threads = std::max<std::size_t>(1, threads);
@@ -12,17 +21,33 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
 }
 
 void ThreadPool::run_round(const std::function<void(std::size_t)>& body) {
+  if (t_round_pool == this) {
+    throw std::logic_error(
+        "ThreadPool: re-entrant run_round from a worker of the same pool");
+  }
   std::unique_lock<std::mutex> lock(mutex_);
+  if (stop_) {
+    throw std::runtime_error("ThreadPool: round submitted after shutdown");
+  }
   job_ = &body;
   remaining_ = workers_.size();
   ++generation_;
@@ -42,7 +67,9 @@ void ThreadPool::worker_loop(std::size_t id) {
       seen = generation_;
       job = job_;
     }
+    t_round_pool = this;
     (*job)(id);
+    t_round_pool = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--remaining_ == 0) done_cv_.notify_all();

@@ -23,7 +23,7 @@ namespace gsb::par {
 /// Persistent worker team.
 class ThreadPool {
  public:
-  /// Spawns \p threads workers (at least 1).
+  /// Spawns \p threads workers (at least 1; 0 clamps to 1).
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
 
@@ -37,7 +37,21 @@ class ThreadPool {
   /// when all have finished.  Exceptions thrown by bodies terminate (the
   /// enumeration kernels are noexcept by construction); rounds must not be
   /// issued concurrently from multiple callers.
+  ///
+  /// Misuse is rejected instead of deadlocking: a round submitted after
+  /// shutdown() throws std::runtime_error, and a round submitted from
+  /// inside one of this pool's own running bodies (which would wait on
+  /// workers that are all busy waiting on it) throws std::logic_error.
+  /// Rounds on a *different* pool nest fine.
   void run_round(const std::function<void(std::size_t)>& body);
+
+  /// Stops and joins the workers.  Idempotent; the destructor calls it.
+  /// Must not race a run_round in flight (same single-caller contract as
+  /// run_round itself).  After shutdown, run_round throws.
+  void shutdown();
+
+  /// True once shutdown() has run (or started).
+  [[nodiscard]] bool stopped() const;
 
   /// Default worker count: hardware concurrency, at least 1.
   static std::size_t default_threads() noexcept;
@@ -46,7 +60,7 @@ class ThreadPool {
   void worker_loop(std::size_t id);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
   const std::function<void(std::size_t)>* job_ = nullptr;

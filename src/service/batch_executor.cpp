@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <optional>
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "parallel/job_graph.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -189,39 +189,52 @@ BatchResult execute_batch(std::shared_ptr<const GraphEntry> entry,
     return result;
   }
 
-  // Dynamic claiming: response slots make output order a function of the
-  // input alone, so work distribution is free to be racy.
-  std::atomic<std::size_t> next{0};
-  std::vector<QueryEngineStats> engine_stats(threads);
-  std::vector<std::uint64_t> hit_counts(threads, 0);
-  std::vector<std::uint64_t> miss_counts(threads, 0);
-  auto worker = [&](std::size_t thread_id) {
-    std::optional<QueryEngine> local;
-    QueryEngine* engine = borrowed(thread_id);
-    if (engine == nullptr) engine = &local.emplace(entry);
-    const QueryEngineStats before = engine->stats();
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= lines.size()) break;
-      result.responses[i] =
-          execute_cached_line(*engine, options.cache, lines[i],
-                              hit_counts[thread_id], miss_counts[thread_id]);
-    }
-    engine_stats[thread_id] = stats_since(engine->stats(), before);
-  };
+  // One scheduler job per request line, unordered: response slots make
+  // output order a function of the input alone, so work distribution is
+  // free to be racy.  A borrowed pool may be larger than the batch's
+  // thread budget; worker_limit keeps the clamp (and the engine-per-
+  // worker invariant) without re-creating the pool.
   std::optional<par::ThreadPool> owned_pool;
   par::ThreadPool* pool = options.pool;
   if (pool == nullptr || pool->size() < threads) {
     owned_pool.emplace(threads);
     pool = &*owned_pool;
   }
-  pool->run_round([&](std::size_t thread_id) {
-    if (thread_id < threads) worker(thread_id);
-  });
-  for (std::size_t t = 0; t < threads; ++t) {
-    result.engine += engine_stats[t];
-    result.cache_hits += hit_counts[t];
-    result.cache_misses += miss_counts[t];
+  par::JobGraph::Options graph_options;
+  graph_options.worker_limit = threads;
+  par::JobGraph jobs(pool, graph_options);
+
+  /// Per-worker engine state, built lazily on the worker's first line.
+  struct Worker {
+    std::optional<QueryEngine> local;
+    QueryEngine* engine = nullptr;
+    QueryEngineStats before;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  std::vector<Worker> workers(jobs.workers());
+  auto engine_for = [&](std::size_t wid) -> Worker& {
+    Worker& w = workers[wid];
+    if (w.engine == nullptr) {
+      w.engine = borrowed(wid);
+      if (w.engine == nullptr) w.engine = &w.local.emplace(entry);
+      w.before = w.engine->stats();
+    }
+    return w;
+  };
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    jobs.add([&, i](std::size_t wid) {
+      Worker& w = engine_for(wid);
+      result.responses[i] = execute_cached_line(*w.engine, options.cache,
+                                                lines[i], w.hits, w.misses);
+    });
+  }
+  jobs.run();
+  for (const Worker& w : workers) {
+    if (w.engine == nullptr) continue;
+    result.engine += stats_since(w.engine->stats(), w.before);
+    result.cache_hits += w.hits;
+    result.cache_misses += w.misses;
   }
   return result;
 }

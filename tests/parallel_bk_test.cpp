@@ -216,8 +216,13 @@ TEST(ParallelBk, ReorderWindowStaysBoundedAndBalanced) {
   // The deterministic merge may only ever hold an in-flight window, never
   // the full output.
   EXPECT_LT(stats.peak_pending_bytes, total_flat_bytes / 2);
+  EXPECT_LT(tracker.peak(), total_flat_bytes / 2);
   EXPECT_EQ(tracker.current(), 0u);  // everything drained and released
-  EXPECT_EQ(tracker.peak(), stats.peak_pending_bytes);
+  // The tracker allocates in the job body (before the scheduler's
+  // finish-lock) and releases in the completion (after the scheduler's
+  // drain-claim deduction), so its window strictly contains the
+  // scheduler's: the peaks are close but tracker >= scheduler.
+  EXPECT_GE(tracker.peak(), stats.peak_pending_bytes);
 }
 
 TEST(ParallelBk, TinyReorderWindowThrottlesAndStaysCorrect) {

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "core/detail/task_claims.h"
 #include "core/detail/sublist_kernel.h"
@@ -41,6 +43,63 @@ TEST(ThreadPool, MinimumOneThread) {
   int ran = 0;
   pool.run_round([&](std::size_t) { ++ran; });
   EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, OneWorkerRoundsRunSerially) {
+  par::ThreadPool pool(1);
+  int depth = 0;
+  int max_depth = 0;
+  for (int round = 0; round < 20; ++round) {
+    pool.run_round([&](std::size_t tid) {
+      EXPECT_EQ(tid, 0u);
+      max_depth = std::max(max_depth, ++depth);
+      --depth;
+    });
+  }
+  EXPECT_EQ(max_depth, 1);
+}
+
+TEST(ThreadPool, RoundAfterShutdownThrows) {
+  par::ThreadPool pool(2);
+  pool.run_round([](std::size_t) {});
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+  pool.shutdown();  // idempotent, must not hang or double-join
+  EXPECT_THROW(pool.run_round([](std::size_t) {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ReentrantRoundFromWorkerThrows) {
+  // A worker that submits a round to its own pool would wait for workers
+  // that are all busy running the current round — including itself.  The
+  // pool detects this and throws instead of deadlocking.
+  par::ThreadPool pool(2);
+  std::atomic<int> rejected{0};
+  pool.run_round([&](std::size_t) {
+    try {
+      pool.run_round([](std::size_t) {});
+    } catch (const std::logic_error&) {
+      ++rejected;
+    }
+  });
+  EXPECT_EQ(rejected.load(), 2);
+  // The pool survives the rejected submissions.
+  std::atomic<int> ran{0};
+  pool.run_round([&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, NestedDistinctPoolIsAllowed) {
+  // Stages that parallelize internally create their own team inside an
+  // outer pool's worker (the overlapped pipeline does exactly this); the
+  // re-entrancy guard must only reject rounds on the *same* pool.
+  par::ThreadPool outer(2);
+  std::atomic<int> inner_ran{0};
+  outer.run_round([&](std::size_t tid) {
+    if (tid != 0) return;
+    par::ThreadPool inner(2);
+    inner.run_round([&](std::size_t) { ++inner_ran; });
+  });
+  EXPECT_EQ(inner_ran.load(), 2);
 }
 
 TEST(LoadBalancer, ConservationEveryTaskOnce) {

@@ -31,8 +31,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "bio/generator.h"
+#include "bio/normalize.h"
+#include "bio/tiled_correlation.h"
 #include "core/bron_kerbosch.h"
 #include "graph/graph.h"
+#include "pipeline/overlap.h"
 #include "service/artifact_verify.h"
 #include "service/batch_executor.h"
 #include "service/client.h"
@@ -355,6 +359,67 @@ TEST(ChaosBuilds, ArtifactsByteIdenticalUnderRecoverableFaults) {
   EXPECT_EQ(read_bytes(clean.gsbci), read_bytes(faulted.gsbci));
 
   // Nothing recoverable may leak a temp file.
+  for (const auto& entry : fs::directory_iterator(d.dir)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << entry.path();
+  }
+}
+
+/// One full pipeline pass: tiled out-of-core correlation -> .gsbg ->
+/// mapped analysis -> .gsbc clique stream.  `overlap` routes the
+/// analysis stages through the DAG scheduler (with the prefetch job);
+/// staged runs them inline.  Analysis threads stay at 1 so the clique
+/// emission order is the sequential one in both modes — the comparison
+/// then isolates the scheduler and the fault shim.
+void run_pipeline_to_artifacts(const bio::ExpressionMatrix& expression,
+                               const std::string& gsbg_path,
+                               const std::string& gsbc_path, bool overlap) {
+  bio::TiledCorrelationOptions tiled;
+  tiled.threshold = 0.55;
+  tiled.tile_rows = 48;
+  tiled.threads = 2;
+  bio::build_correlation_gsbg(expression, gsbg_path, tiled);
+
+  const auto mapped = storage::MappedGraph::open(gsbg_path);
+  pipeline::AnalysisOptions analysis;
+  analysis.range = core::SizeRange{3, 0};
+  analysis.threads = 1;
+  analysis.clique_out = gsbc_path;
+  analysis.overlap = overlap;
+  if (overlap) analysis.prefetch = &mapped;
+  pipeline::run_analysis(mapped.view(), analysis);
+}
+
+TEST(ChaosBuilds, OverlappedPipelineUnderFaultsMatchesCleanStagedRun) {
+  ScratchDir d("gsb_rb_chaos_overlap");
+  util::Rng rng(2005);
+  bio::MicroarrayConfig config;
+  config.genes = 120;
+  config.samples = 24;
+  config.modules = 6;
+  auto data = bio::generate_microarray(config, rng);
+  bio::quantile_normalize(data.expression);
+
+  run_pipeline_to_artifacts(data.expression, d.path("clean.gsbg"),
+                            d.path("clean.gsbc"), /*overlap=*/false);
+
+  fault::Schedule s;
+  s.seed = 19;
+  op(s, fault::Op::kRead) = {.eintr = 0.3, .short_io = 0.3};
+  op(s, fault::Op::kWrite) = {.eintr = 0.3, .short_io = 0.3};
+  op(s, fault::Op::kFsync) = {.eintr = 0.5};
+  op(s, fault::Op::kOpen) = {.eintr = 0.5};
+  {
+    fault::ScheduleScope scope(s);
+    run_pipeline_to_artifacts(data.expression, d.path("faulted.gsbg"),
+                              d.path("faulted.gsbc"), /*overlap=*/true);
+    EXPECT_GT(fault::injected_total(), 0u) << "the schedule must engage";
+  }
+
+  EXPECT_EQ(read_bytes(d.path("clean.gsbg")),
+            read_bytes(d.path("faulted.gsbg")));
+  EXPECT_EQ(read_bytes(d.path("clean.gsbc")),
+            read_bytes(d.path("faulted.gsbc")));
   for (const auto& entry : fs::directory_iterator(d.dir)) {
     EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
         << entry.path();
