@@ -16,11 +16,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
 
 #include "graph/generators.h"
 #include "graph/graph_view.h"
+#include "obs/timeline.h"
 #include "pipeline/overlap.h"
 #include "storage/gsbg_writer.h"
 #include "storage/mapped_graph.h"
@@ -146,6 +148,50 @@ BENCHMARK(BM_PipelineOverlappedMapped)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// The timeline acceptance number: the same overlapped run with the
+// journal off, then on (job + queue-wait + steal + stage spans live).
+// The per-run delta divided by the baseline lands in
+// `timeline_overhead_pct` — the budget is < 3%, mirroring
+// `instr_overhead_pct` on the serving side, and the .gsbc stream is
+// byte-identical either way (scheduler_test pins that part).
+void BM_PipelineTimelineOverhead(benchmark::State& state) {
+  const gsb::graph::GraphView g(fixture().graph);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  gsb::obs::TimelineJournal& journal = gsb::obs::TimelineJournal::global();
+  using Clock = std::chrono::steady_clock;
+
+  double off_seconds = 0.0;
+  double on_seconds = 0.0;
+  std::uint64_t cliques = 0;
+  for (auto _ : state) {
+    auto options = base_options(threads, /*overlap=*/true);
+    journal.set_enabled(false);
+    const auto off_start = Clock::now();
+    const auto off_result = gsb::pipeline::run_analysis(g, options);
+    off_seconds += std::chrono::duration<double>(Clock::now() - off_start)
+                       .count();
+    journal.reset();
+    journal.set_enabled(true);
+    const auto on_start = Clock::now();
+    const auto on_result = gsb::pipeline::run_analysis(g, options);
+    on_seconds += std::chrono::duration<double>(Clock::now() - on_start)
+                      .count();
+    journal.set_enabled(false);
+    cliques = off_result.enumeration.total_maximal;
+    benchmark::DoNotOptimize(on_result.enumeration.total_maximal);
+  }
+  journal.reset();
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      2 * cliques * static_cast<std::uint64_t>(state.iterations())));
+  state.counters["timeline_overhead_pct"] =
+      off_seconds > 0.0 ? (on_seconds / off_seconds - 1.0) * 100.0 : 0.0;
+}
+BENCHMARK(BM_PipelineTimelineOverhead)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(2.0);
 
 }  // namespace
 

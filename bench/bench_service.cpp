@@ -380,9 +380,26 @@ void BM_TcpInstrumentationOverhead(benchmark::State& state) {
                                       kRequestsPerClient);
     completed += 2 * kClients * kRequestsPerClient;
   }
+  // Server-side quantiles interpolated from the same log2-bucket
+  // histogram the `stats` control line reads, via the shared
+  // obs::histogram_quantile_micros helper — scraped while the registry
+  // is still live so the instrumented half's observations are in it.
+  obs::HistogramSnapshot merged;
+  for (const auto& metric : registry.scrape().metrics) {
+    if (metric.name != "gsb_request_duration_microseconds") continue;
+    for (std::size_t i = 0; i < merged.buckets.size(); ++i) {
+      merged.buckets[i] += metric.histogram.buckets[i];
+    }
+    merged.count += metric.histogram.count;
+    merged.sum_micros += metric.histogram.sum_micros;
+  }
   registry.set_enabled(false);
   tracer.set_enabled(false);
   state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  state.counters["server_p50_us"] = static_cast<double>(
+      obs::histogram_quantile_micros(merged, 0.50));
+  state.counters["server_p99_us"] = static_cast<double>(
+      obs::histogram_quantile_micros(merged, 0.99));
   state.counters["instr_overhead_pct"] =
       off_seconds > 0.0 ? (on_seconds / off_seconds - 1.0) * 100.0 : 0.0;
 }

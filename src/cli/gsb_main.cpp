@@ -63,7 +63,10 @@
 #include "graph/transforms.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/timeline_export.h"
 #include "obs/trace.h"
+#include "service/control_text.h"
 #include "pipeline/overlap.h"
 #include "service/artifact_verify.h"
 #include "service/batch_executor.h"
@@ -140,10 +143,14 @@ pipeline flags:
                             and stage output stay byte-identical to the
                             default staged order
   --csv PREFIX              also write PREFIX_*.csv tables
+  --trace-out FILE.json     write the run's execution timeline as Chrome
+                            trace JSON (open in Perfetto / chrome://tracing)
+  --trace-io                also record per-syscall I/O spans in the trace
 
 cliques flags: <file|-> [--graph-file FILE] [--format dimacs|edges|binary|gsbg]
                [--min K] [--max K] [--threads P] [--engine bk|enumerator]
                [--clique-out FILE.gsbc] [--count-only] [--progress]
+               [--trace-out FILE.json] [--trace-io]
                --engine bk = degeneracy-ordered Bron-Kerbosch (parallel via
                work stealing); enumerator = size-ordered Clique Enumerator.
                --clique-out spills cliques to a .gsbc stream (bounded memory)
@@ -166,8 +173,12 @@ serve flags:   --graph-file FILE [--cliques F.gsbc] [--index F.gsbci]
                [--threads P] [--cache] [--cache-bytes N] [--inflight-bytes N]
                [--metrics] [--slow-query-log MICROS] [--request-timeout MS]
                [--idle-timeout MS] [--write-timeout MS] [--clean-tmp]
+               [--trace-out FILE.json] [--trace-io]
                --metrics enables the registry and the `metrics` control
-               request (Prometheus/JSON/traces: docs/OBSERVABILITY.md)
+               request (Prometheus/JSON/traces: docs/OBSERVABILITY.md);
+               --trace-out records request/job timelines for the whole
+               run, and the `profile start`/`profile stop` control
+               requests capture a bounded window over the wire
 verify flags:  <artifact>...   (exit 1 when any artifact fails)
 
 Every flag can also be set through the environment as GSB_<NAME>.
@@ -373,7 +384,38 @@ void print_memory_summary(const std::string& csv,
 
 // --- gsb pipeline -----------------------------------------------------------
 
+/// `--trace-out FILE.json [--trace-io]`: arms the process-wide timeline
+/// journal for the command's whole run.  Returns the output path (empty
+/// = tracing off); pair with finish_timeline once the traced work is
+/// done.  Recording is observational only — artifacts and stdout are
+/// byte-identical with or without the flag.
+std::string arm_timeline(const util::Cli& cli) {
+  const std::string path = cli.get("trace-out", "");
+  const bool io_spans = cli.get_bool("trace-io", false);
+  if (path.empty()) return path;
+  obs::TimelineJournal& journal = obs::TimelineJournal::global();
+  journal.reset();
+  journal.set_io_spans_enabled(io_spans);
+  journal.set_enabled(true);
+  return path;
+}
+
+/// Stops recording and writes the Chrome trace for arm_timeline's window.
+void finish_timeline(const std::string& path) {
+  if (path.empty()) return;
+  obs::TimelineJournal& journal = obs::TimelineJournal::global();
+  journal.set_enabled(false);
+  const obs::TimelineSnapshot snapshot = journal.snapshot();
+  obs::write_chrome_trace(journal, path);
+  std::fprintf(stderr,
+               "timeline: %zu events across %zu lanes -> %s"
+               " (%llu dropped)\n",
+               snapshot.events.size(), snapshot.lanes.size(), path.c_str(),
+               static_cast<unsigned long long>(snapshot.dropped));
+}
+
 int cmd_pipeline(const util::Cli& cli) {
+  const std::string trace_out = arm_timeline(cli);
   const auto threads = size_flag(cli, "threads", 0);
   const auto corr_block = size_flag(cli, "corr-block", 0);
   const auto init_k = size_flag(cli, "init-k", 4);
@@ -566,6 +608,7 @@ int cmd_pipeline(const util::Cli& cli) {
         util::format_seconds(analysis_result.seconds).c_str());
   }
 
+  finish_timeline(trace_out);
   print_memory_summary(csv, ooc_peak_bytes);
   return 0;
 }
@@ -592,6 +635,7 @@ int cmd_cliques(const util::Cli& cli) {
                  engine.c_str());
     return 2;
   }
+  const std::string trace_out = arm_timeline(cli);
   GraphInput input = load_input(path, cli.get("format", ""));
   const graph::GraphView& g = input.view;
   std::fprintf(stderr, "%s %zu vertices, %zu edges (density %.3f%%)\n",
@@ -668,6 +712,7 @@ int cmd_cliques(const util::Cli& cli) {
     }
     table.print();
   }
+  finish_timeline(trace_out);
   return 0;
 }
 
@@ -1052,6 +1097,11 @@ int run_remote_query(const std::string& target, bool binary,
       std::printf("%s\n", response.c_str() + kJson.size());
     } else if (response.rfind(kTraces, 0) == 0) {
       std::printf("%s\n", response.c_str() + kTraces.size());
+    } else if (constexpr std::string_view kProfile = "ok profile {";
+               response.rfind(kProfile, 0) == 0) {
+      // `profile stop` answers with the Chrome trace itself; unwrap so
+      // the output redirects straight into a Perfetto-loadable file.
+      std::printf("%s\n", response.c_str() + kProfile.size() - 1);
     } else {
       std::printf("%s\n", response.c_str());
     }
@@ -1173,7 +1223,8 @@ int cmd_serve(const util::Cli& cli) {
         "           [--cache] [--cache-bytes N] [--inflight-bytes N]\n"
         "           [--metrics] [--slow-query-log MICROS]\n"
         "           [--request-timeout MS] [--idle-timeout MS]\n"
-        "           [--write-timeout MS] [--clean-tmp]\n");
+        "           [--write-timeout MS] [--clean-tmp]\n"
+        "           [--trace-out FILE.json] [--trace-io]\n");
     return 2;
   }
   const auto threads = size_flag(cli, "threads", 0);
@@ -1202,6 +1253,7 @@ int cmd_serve(const util::Cli& cli) {
       obs::Tracer::global().set_slow_log_micros(slow_query_log);
     }
   }
+  const std::string trace_out = arm_timeline(cli);
 
   service::GraphCatalog catalog;
   const service::GraphSpec spec = service_spec(cli);
@@ -1263,6 +1315,11 @@ int cmd_serve(const util::Cli& cli) {
         static_cast<unsigned long long>(tcp_stats.reloads),
         static_cast<unsigned long long>(tcp_stats.protocol_errors),
         tcp_stats.shutdown_requested ? " (client shutdown)" : "");
+    const std::string latency = service::latency_quantile_fields();
+    if (!latency.empty()) {
+      std::fprintf(stderr, "request latency:%s\n", latency.c_str());
+    }
+    finish_timeline(trace_out);
     print_memory_summary("");
     return 0;
   }
@@ -1289,6 +1346,11 @@ int cmd_serve(const util::Cli& cli) {
       static_cast<unsigned long long>(stats.cache_hits),
       static_cast<unsigned long long>(stats.cache_hits + stats.cache_misses),
       stats.shutdown_requested ? " (client shutdown)" : "");
+  const std::string latency = service::latency_quantile_fields();
+  if (!latency.empty()) {
+    std::fprintf(stderr, "request latency:%s\n", latency.c_str());
+  }
+  finish_timeline(trace_out);
   print_memory_summary("");
   return 0;
 }

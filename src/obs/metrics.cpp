@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "util/memory_tracker.h"
 
@@ -51,8 +52,41 @@ std::chrono::steady_clock::time_point process_anchor() noexcept {
   return anchor;
 }
 
+/// Compile-time build identity for gsb_build_info.  The ISA level is the
+/// correlation kernel's dispatch ceiling (runtime AVX detection happens
+/// in corr_kernel.cpp; this label reports what the binary can select).
+const char* build_sanitizer() noexcept {
+#if defined(__SANITIZE_THREAD__)
+  return "tsan";
+#elif defined(__SANITIZE_ADDRESS__)
+  return "asan";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return "tsan";
+#elif __has_feature(address_sanitizer)
+  return "asan";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
+const char* build_isa() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool have_avx = __builtin_cpu_supports("avx") != 0;
+  return have_avx ? "avx" : "v128";
+#elif defined(__GNUC__) || defined(__clang__)
+  return "v128";
+#else
+  return "scalar";
+#endif
+}
+
 /// Default collectors sampled at every scrape of the global registry:
-/// process uptime/RSS, MemoryTracker tag gauges, and tracer activity.
+/// process uptime/RSS, build identity, MemoryTracker tag gauges, tracer
+/// and timeline activity.
 void collect_process_metrics(RegistrySnapshot& out) {
   const auto add_gauge = [&out](const char* name, const char* help,
                                 std::string labels, std::uint64_t value) {
@@ -67,6 +101,22 @@ void collect_process_metrics(RegistrySnapshot& out) {
 
   add_gauge("gsb_uptime_seconds", "Seconds since process start.", {},
             process_uptime_seconds());
+  {
+    std::string labels = "version=\"";
+#if defined(GSB_VERSION)
+    labels += GSB_VERSION;
+#else
+    labels += "dev";
+#endif
+    labels += "\",isa=\"";
+    labels += build_isa();
+    labels += "\",sanitizer=\"";
+    labels += build_sanitizer();
+    labels += '"';
+    add_gauge("gsb_build_info",
+              "Build identity; value is always 1, the labels carry it.",
+              std::move(labels), 1);
+  }
   add_gauge("gsb_process_rss_bytes", "Current resident set size.", {},
             util::process_current_rss_bytes());
   add_gauge("gsb_process_peak_rss_bytes", "Peak resident set size.", {},
@@ -96,6 +146,13 @@ void collect_process_metrics(RegistrySnapshot& out) {
   out.metrics.push_back(std::move(slow));
   add_gauge("gsb_traces_retained", "Traces held in the slowest-N buffer.", {},
             tracer.retained());
+
+  MetricSnapshot dropped;
+  dropped.name = "gsb_timeline_events_dropped_total";
+  dropped.help = "Timeline events lost to full per-thread buffers.";
+  dropped.type = MetricType::kCounter;
+  dropped.value = TimelineJournal::global().events_dropped();
+  out.metrics.push_back(std::move(dropped));
 }
 
 }  // namespace
@@ -302,6 +359,41 @@ void Gauge::set_max(std::uint64_t value) const noexcept {
 void Histogram::observe_micros(std::uint64_t micros) const noexcept {
   if (registry_ == nullptr || !registry_->enabled()) return;
   registry_->observe(index_, micros);
+}
+
+std::uint64_t histogram_quantile_micros(const HistogramSnapshot& h,
+                                        double q) {
+  if (h.count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, ceil): the smallest value
+  // v such that at least q*count observations are <= v.
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(h.count) + 0.9999999999);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= kHistogramBuckets; ++i) {
+    const std::uint64_t in_bucket = h.buckets[i];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Linear interpolation inside the covering bucket.  Bucket 0 covers
+    // (0, 1]; bucket i covers (2^(i-1), 2^i]; the +Inf bucket clamps to
+    // twice the last finite bound.
+    const double lower =
+        i == 0 ? 0.0
+               : static_cast<double>(histogram_bucket_bound(i - 1));
+    const double upper =
+        i >= kHistogramBuckets
+            ? 2.0 * static_cast<double>(
+                        histogram_bucket_bound(kHistogramBuckets - 1))
+            : static_cast<double>(histogram_bucket_bound(i));
+    const double fraction = static_cast<double>(target - cumulative) /
+                            static_cast<double>(in_bucket);
+    return static_cast<std::uint64_t>(lower + (upper - lower) * fraction);
+  }
+  return 2 * histogram_bucket_bound(kHistogramBuckets - 1);
 }
 
 void anchor_process_start() noexcept { (void)process_anchor(); }

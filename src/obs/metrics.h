@@ -50,6 +50,14 @@ struct HistogramSnapshot {
   std::uint64_t sum_micros = 0;
 };
 
+/// Interpolated quantile in microseconds from a log2-bucketed snapshot
+/// (`q` in [0, 1]).  Walks the cumulative counts to the target rank and
+/// interpolates linearly inside the covering bucket, so a p50/p99 read
+/// off 28 coarse buckets is still monotone and bounded by the bucket
+/// edges.  Returns 0 for an empty histogram; ranks landing in the +Inf
+/// bucket clamp to twice the last finite bound.
+std::uint64_t histogram_quantile_micros(const HistogramSnapshot& h, double q);
+
 struct MetricSnapshot {
   std::string name;
   std::string help;

@@ -1,0 +1,49 @@
+#include "obs/timeline_export.h"
+
+#include "obs/exposition.h"
+#include "util/io.h"
+
+namespace gsb::obs {
+
+std::string render_chrome_trace(const TimelineSnapshot& snapshot) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&out, &first] {
+    if (!first) out += ',';
+    first = false;
+  };
+  // thread_name metadata first, so viewers label lanes before any event
+  // references them.
+  for (const TimelineLane& lane : snapshot.lanes) {
+    if (lane.name.empty()) continue;
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(lane.tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           json_escape(lane.name) + "\"}}";
+  }
+  for (const TimelineEvent& e : snapshot.events) {
+    comma();
+    const char* kind = timeline_event_kind_name(e.kind);
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":" + std::to_string(e.start_micros) +
+           ",\"dur\":" + std::to_string(e.dur_micros) + ",\"cat\":\"" +
+           kind + "\",\"name\":\"" +
+           json_escape(e.label[0] != '\0' ? std::string(e.label)
+                                          : std::string(kind)) +
+           "\",\"args\":{\"id\":" + std::to_string(e.id) + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" +
+         std::to_string(snapshot.dropped) + "}}";
+  return out;
+}
+
+void write_chrome_trace(const TimelineJournal& journal,
+                        const std::string& path) {
+  const std::string text = render_chrome_trace(journal.snapshot());
+  util::io::FileWriter writer(path);
+  writer.write(text.data(), text.size());
+  writer.write("\n", 1);
+  writer.commit();
+}
+
+}  // namespace gsb::obs

@@ -1,0 +1,33 @@
+#ifndef GSB_OBS_TIMELINE_EXPORT_H
+#define GSB_OBS_TIMELINE_EXPORT_H
+
+/// Chrome trace-event rendering for the timeline journal.
+///
+/// Emits the JSON object form of the trace-event format: every journal
+/// entry becomes a `ph:"X"` complete event (ts/dur in microseconds) on
+/// one pid with one tid lane per recording thread, plus `ph:"M"`
+/// thread_name metadata for named lanes.  The document is a single line
+/// with no embedded newlines, so it doubles as the `profile stop`
+/// control-response payload on the newline-delimited wire protocols.
+/// Load the file directly in Perfetto (ui.perfetto.dev) or
+/// chrome://tracing.
+
+#include <string>
+
+#include "obs/timeline.h"
+
+namespace gsb::obs {
+
+/// `{"traceEvents":[...],"displayTimeUnit":"ms"}` — one line, no
+/// trailing newline.  Events keep their snapshot (start-time) order.
+std::string render_chrome_trace(const TimelineSnapshot& snapshot);
+
+/// Renders the journal's current capture window and writes it to
+/// `path` (crash-safe tmp+rename).  Throws std::runtime_error on I/O
+/// failure.
+void write_chrome_trace(const TimelineJournal& journal,
+                        const std::string& path);
+
+}  // namespace gsb::obs
+
+#endif  // GSB_OBS_TIMELINE_EXPORT_H

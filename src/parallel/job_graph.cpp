@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 
 namespace gsb::par {
 
@@ -66,6 +67,7 @@ struct JobGraph::Impl {
     std::uint32_t home = kNoHome;
     std::uint32_t queue = 0;  ///< ready queue it was placed in
     std::size_t bytes = 0;
+    std::string label;
     JobState state = JobState::kPending;
     Clock::time_point ready_at{};
   };
@@ -87,6 +89,7 @@ struct JobGraph::Impl {
   bool done = false;
   std::exception_ptr failure;
   bool metrics_on = false;
+  bool timeline_on = false;
 };
 
 JobGraph::JobGraph(ThreadPool* pool) : JobGraph(pool, Options{}) {}
@@ -100,6 +103,7 @@ JobGraph::JobGraph(ThreadPool* pool, Options options)
   workers_ = std::max<std::size_t>(1, workers);
   impl_->queues.resize(workers_);
   impl_->metrics_on = obs::MetricsRegistry::global().enabled();
+  impl_->timeline_on = obs::TimelineJournal::global().enabled();
 }
 
 JobGraph::~JobGraph() = default;
@@ -128,6 +132,7 @@ JobId JobGraph::add(JobSpec spec) {
   job.complete = std::move(spec.complete);
   job.home = spec.home;
   job.bytes = spec.bytes;
+  job.label = std::move(spec.label);
   if (impl_->failure) {
     // The graph already failed: a dynamically spawned job must not run,
     // and must not stall termination either.
@@ -245,7 +250,7 @@ void JobGraph::run() {
 void JobGraph::make_ready_locked(JobId id) {
   Impl::Job& job = impl_->jobs[id];
   job.state = JobState::kReady;
-  if (impl_->metrics_on) job.ready_at = Clock::now();
+  if (impl_->metrics_on || impl_->timeline_on) job.ready_at = Clock::now();
   const std::size_t queue =
       (job.home == kNoHome ? impl_->next_queue++
                            : static_cast<std::size_t>(job.home)) %
@@ -299,6 +304,10 @@ JobId JobGraph::pop_locked(std::size_t worker, bool* stolen) {
 // ---------------------------------------------------------------------------
 
 void JobGraph::worker_loop(std::size_t worker) {
+  obs::TimelineJournal& journal = obs::TimelineJournal::global();
+  if (impl_->timeline_on) {
+    journal.set_thread_lane("worker-" + std::to_string(worker));
+  }
   std::unique_lock<std::mutex> lock(impl_->mutex);
   for (;;) {
     if (all_done_locked()) {
@@ -374,29 +383,48 @@ void JobGraph::worker_loop(std::size_t worker) {
     }
     std::function<void(std::size_t)> body;
     std::function<void()> unordered_complete;
+    std::string label;
     {
       Impl::Job& job = impl_->jobs[id];
       job.state = JobState::kRunning;
       ++stats_.jobs_run;
       if (stolen) ++stats_.jobs_stolen;
-      if (impl_->metrics_on) {
-        const auto waited =
+      if (impl_->metrics_on || impl_->timeline_on) {
+        const auto waited = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                                   job.ready_at)
-                .count();
-        sched_metrics().queue_wait.observe_micros(
-            static_cast<std::uint64_t>(waited));
+                .count());
+        if (impl_->metrics_on) {
+          sched_metrics().queue_wait.observe_micros(waited);
+        }
+        if (impl_->timeline_on) {
+          const std::uint64_t now = journal.now_micros();
+          journal.record(obs::TimelineEventKind::kQueueWait,
+                         now >= waited ? now - waited : 0, waited, id,
+                         job.label);
+          if (stolen) {
+            journal.record_instant(obs::TimelineEventKind::kSteal, id,
+                                   job.label);
+          }
+        }
       }
+      label = std::move(job.label);
       body = std::move(job.run);
       if (!options_.ordered) unordered_complete = std::move(job.complete);
     }
     lock.unlock();
+    const std::uint64_t job_start =
+        impl_->timeline_on ? journal.now_micros() : 0;
     std::exception_ptr error;
     try {
       body(worker);
       if (unordered_complete) unordered_complete();
     } catch (...) {
       error = std::current_exception();
+    }
+    if (impl_->timeline_on) {
+      journal.record(obs::TimelineEventKind::kJob, job_start,
+                     journal.now_micros() - job_start, id, label);
     }
     lock.lock();
     // Re-index: a dynamic add() from the body may have grown the jobs

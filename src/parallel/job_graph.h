@@ -37,6 +37,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "parallel/thread_pool.h"
@@ -112,6 +113,9 @@ class JobGraph {
     std::uint32_t home = kNoHome;
     /// Reorder-window accounting for ordered mode.
     std::size_t bytes = 0;
+    /// Timeline label for this job's span (obs/timeline.h); empty jobs
+    /// show up under their JobId only.  Purely observational.
+    std::string label;
   };
 
   /// \p pool may be null: the graph then runs inline on the calling

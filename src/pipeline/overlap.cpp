@@ -1,6 +1,8 @@
 #include "pipeline/overlap.h"
 
 #include <algorithm>
+#include <functional>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -63,29 +65,44 @@ AnalysisResult run_analysis(const graph::GraphView& g,
   // Four stages, at most four runnable at once; the enumeration stage
   // parallelizes internally with its own worker team, so the scheduler
   // pool only needs enough workers to keep the independent stages and
-  // the prefetch job concurrent.  Clamped to the hardware: with a
-  // single core, stage overlap is pure oversubscription, and a
-  // one-worker pool takes JobGraph's inline path — identical to staged.
+  // the prefetch job concurrent.  Clamped to the hardware unless the
+  // caller asked for a thread count explicitly (an explicit request
+  // opts into oversubscription, like every other --threads site): with
+  // a single core and no request, stage overlap is pure
+  // oversubscription, and a one-worker pool takes JobGraph's inline
+  // path — identical to staged.
+  const std::size_t parallelism =
+      options.threads != 0
+          ? options.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   const std::size_t stage_workers =
-      options.overlap
-          ? std::min<std::size_t>(
-                4, std::max(1u, std::thread::hardware_concurrency()))
-          : 1;
+      options.overlap ? std::min<std::size_t>(4, parallelism) : 1;
   par::ThreadPool pool(stage_workers);
   par::JobGraph graph(options.overlap && stage_workers > 1 ? &pool : nullptr);
 
+  // Stage jobs carry timeline labels so a --trace-out capture shows the
+  // overlap schedule as named lanes (prefetch visible against compute).
+  const auto add_stage = [&graph](std::string label,
+                                  std::function<void(std::size_t)> body) {
+    par::JobGraph::JobSpec spec;
+    spec.run = std::move(body);
+    spec.label = std::move(label);
+    return graph.add(std::move(spec));
+  };
+
   if (options.prefetch != nullptr && options.prefetch->is_open()) {
     const storage::MappedGraph* mapped = options.prefetch;
-    graph.add([&result, mapped](std::size_t) {
+    add_stage("prefetch", [&result, mapped](std::size_t) {
       result.prefetched_bytes = prefetch_container(*mapped);
     });
   }
 
-  graph.add([&result, &g](std::size_t) {
+  add_stage("maximum-clique", [&result, &g](std::size_t) {
     result.maximum = core::maximum_clique(g);
   });
 
-  const par::JobId enum_job = graph.add([&result, &g, &options](std::size_t) {
+  const par::JobId enum_job = add_stage(
+      "enumeration", [&result, &g, &options](std::size_t) {
     if (!result.streamed) {
       core::CliqueCollector collector;
       result.enumeration = enumerate(g, options.range, options.threads,
@@ -112,7 +129,7 @@ AnalysisResult run_analysis(const graph::GraphView& g,
     result.spectrum.finalize();
   });
 
-  graph.add([&result, &g, &options](std::size_t) {
+  add_stage("paracliques", [&result, &g, &options](std::size_t) {
     analysis::ParacliqueOptions para;
     para.glom = options.glom;
     result.paracliques =
@@ -120,6 +137,7 @@ AnalysisResult run_analysis(const graph::GraphView& g,
   });
 
   par::JobGraph::JobSpec hubs;
+  hubs.label = "hubs";
   hubs.deps = {enum_job};
   hubs.run = [&result, &g, &options](std::size_t) {
     result.hubs = result.streamed

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "parallel/job_graph.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -109,11 +110,15 @@ std::string execute_cached_line(QueryEngine& engine, ResultCache* cache,
     if (auto cached = cache->lookup(epoch, canonical)) {
       ++cache_hits;
       metrics.cache_hits.inc();
+      obs::TimelineJournal::global().record_instant(
+          obs::TimelineEventKind::kCacheHit, 0, canonical);
       return finish(*std::move(cached));
     }
   }
   ++cache_misses;
   metrics.cache_misses.inc();
+  obs::TimelineJournal::global().record_instant(
+      obs::TimelineEventKind::kCacheMiss, 0, canonical);
   std::string response;
   {
     obs::SpanTimer span(obs::Span::kExecute);

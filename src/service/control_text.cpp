@@ -2,11 +2,32 @@
 
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/timeline_export.h"
 #include "obs/trace.h"
 #include "service/result_cache.h"
 #include "util/memory_tracker.h"
 
 namespace gsb::service {
+
+std::string latency_quantile_fields() {
+  const obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  if (!registry.enabled()) return {};
+  obs::HistogramSnapshot merged;
+  for (const auto& metric : registry.scrape().metrics) {
+    if (metric.name != "gsb_request_duration_microseconds") continue;
+    for (std::size_t i = 0; i < merged.buckets.size(); ++i) {
+      merged.buckets[i] += metric.histogram.buckets[i];
+    }
+    merged.count += metric.histogram.count;
+    merged.sum_micros += metric.histogram.sum_micros;
+  }
+  if (merged.count == 0) return {};
+  return " p50_us=" +
+         std::to_string(obs::histogram_quantile_micros(merged, 0.50)) +
+         " p99_us=" +
+         std::to_string(obs::histogram_quantile_micros(merged, 0.99));
+}
 
 std::string render_stats_line(const StatsFields& fields) {
   std::string out = "ok stats: requests=" + std::to_string(fields.requests) +
@@ -27,6 +48,7 @@ std::string render_stats_line(const StatsFields& fields) {
     out += " cache_entries=" + std::to_string(cache_stats.entries) +
            " cache_bytes=" + std::to_string(cache_stats.bytes);
   }
+  out += latency_quantile_fields();
   return out;
 }
 
@@ -63,10 +85,44 @@ std::optional<std::string> metrics_response(const std::string& request) {
          "' (expected prom, json, or traces)";
 }
 
+std::optional<std::string> profile_response(const std::string& request) {
+  if (request != "profile" && request.rfind("profile ", 0) != 0) {
+    return std::nullopt;
+  }
+  obs::TimelineJournal& journal = obs::TimelineJournal::global();
+  if (request == "profile") {
+    const auto snapshot = journal.snapshot();
+    return "ok profile: enabled=" + std::to_string(journal.enabled() ? 1 : 0) +
+           " events=" + std::to_string(snapshot.events.size()) +
+           " dropped=" + std::to_string(snapshot.dropped);
+  }
+  std::string verb = request.substr(8);
+  const auto begin = verb.find_first_not_of(' ');
+  if (begin == std::string::npos) {
+    verb.clear();
+  } else {
+    const auto end = verb.find_last_not_of(' ');
+    verb = verb.substr(begin, end - begin + 1);
+  }
+  if (verb == "start") {
+    // Fresh bounded window: previous events are discarded, buffers are
+    // reused, and a full lane drops (and counts) instead of growing.
+    journal.reset();
+    journal.set_enabled(true);
+    return std::string("ok profile started");
+  }
+  if (verb == "stop") {
+    journal.set_enabled(false);
+    return "ok profile " + obs::render_chrome_trace(journal.snapshot());
+  }
+  return "error: unknown profile verb '" + verb + "' (expected start or stop)";
+}
+
 bool is_control_request(const std::string& text) {
   return text == "ping" || text == "stats" || text == "shutdown" ||
          text == "reload" || text == "metrics" ||
-         text.rfind("metrics ", 0) == 0;
+         text.rfind("metrics ", 0) == 0 || text == "profile" ||
+         text.rfind("profile ", 0) == 0;
 }
 
 }  // namespace gsb::service

@@ -35,8 +35,19 @@ struct StatsFields {
 
 /// `ok stats: requests=... [connections=... busy=...] accept_errors=...
 /// backlog=... [epoch=...] uptime_seconds=... rss_bytes=...
-/// [cache_entries=... cache_bytes=...]`
+/// [cache_entries=... cache_bytes=...] [p50_us=... p99_us=...]`
+/// The latency quantiles are interpolated from the registry's request
+/// histograms and appear only when the registry is enabled and has
+/// observed at least one timed request.
 std::string render_stats_line(const StatsFields& fields);
+
+/// ` p50_us=... p99_us=...` (leading space) interpolated from the
+/// registry's request-duration histograms, merged across transports and
+/// cache outcomes.  Empty while the registry is disabled or before the
+/// first timed request, so default serve runs keep the historical stats
+/// key set byte for byte.  Shared by the stats control line and the
+/// `gsb serve` exit summary.
+std::string latency_quantile_fields();
 
 /// Answers `metrics` / `metrics prom` / `metrics json` / `metrics traces`
 /// (single-line responses; Prometheus text is newline-escaped — see
@@ -44,8 +55,16 @@ std::string render_stats_line(const StatsFields& fields);
 /// an error line when the registry is disabled or the format is unknown.
 std::optional<std::string> metrics_response(const std::string& request);
 
+/// Answers the `profile` family: `profile start` begins a fresh timeline
+/// capture window, `profile stop` disables recording and returns
+/// `ok profile <chrome-trace-json>` (one line — the Chrome trace is
+/// rendered without newlines), and bare `profile` reports
+/// `ok profile: enabled=... events=... dropped=...`.  nullopt when
+/// `request` is not a profile request.
+std::optional<std::string> profile_response(const std::string& request);
+
 /// True for requests a serve loop answers inline without an engine
-/// (ping/stats/shutdown/reload and the metrics family).
+/// (ping/stats/shutdown/reload and the metrics/profile families).
 bool is_control_request(const std::string& text);
 
 }  // namespace gsb::service

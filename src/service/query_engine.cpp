@@ -8,6 +8,7 @@
 #include "analysis/paraclique.h"
 #include "graph/transforms.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "storage/clique_stream.h"
 #include "util/timer.h"
 
@@ -97,6 +98,9 @@ std::string QueryEngine::execute(const Query& query) {
   const QueryEngineStats before = stats_;
   std::string response;
   try {
+    obs::TimelineSpan span(obs::TimelineEventKind::kStage,
+                           std::string("execute:") +
+                               query_kind_name(query.kind));
     response = dispatch(query);
   } catch (const std::exception& error) {
     ++stats_.errors;

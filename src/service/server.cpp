@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "service/control_text.h"
 #include "util/io.h"
@@ -90,6 +91,7 @@ std::optional<std::string> control_response(ServeState& state,
     fields.cache = state.cache;
     return render_stats_line(fields);
   }
+  if (const auto profile = profile_response(request)) return *profile;
   return metrics_response(request);
 }
 
@@ -186,6 +188,9 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
   QueryEngine session_engine(entry);
   std::uint64_t session_hits = 0;
   std::uint64_t session_misses = 0;
+  if (obs::TimelineJournal::global().enabled()) {
+    obs::TimelineJournal::global().set_thread_lane("stream");
+  }
 
   std::vector<std::string> group;
   std::string line;
@@ -226,6 +231,8 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
           std::string response;
           {
             obs::TraceScope trace(obs::Tracer::global(), "stream", group[i]);
+            obs::TimelineSpan span(obs::TimelineEventKind::kRequest,
+                                   group[i]);
             response = execute_cached_line(session_engine, options.cache,
                                            group[i], session_hits,
                                            session_misses);
@@ -275,11 +282,18 @@ ServeStats serve_stream(std::shared_ptr<const GraphEntry> entry,
       state.requests.fetch_add(1, std::memory_order_relaxed);
       stream_metrics().requests.inc();
       ++stats.requests;
-      if (const auto control = control_response(state, request)) {
-        // Everything queued before the control line answers first.
+      if (is_control_request(request)) {
+        // Everything queued before the control line answers first — and
+        // must also *execute* first: `stats` reads the cache counters
+        // and `profile stop` snapshots the timeline window, so pending
+        // queries have to land before the control request evaluates.
         flush_queries(i);
-        begin = i + 1;
-        out << *control << '\n';
+        if (const auto control = control_response(state, request)) {
+          begin = i + 1;
+          out << *control << '\n';
+        }
+        // Control-shaped but unsupported here ("reload" without TCP):
+        // left in the pending range for the typed engine error.
       }
     }
     flush_queries(group.size());
@@ -318,6 +332,9 @@ void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
                        ServeState& state, const ServeOptions& options,
                        std::mutex& stats_mutex, ServeStats& stats) {
   QueryEngine engine(entry);
+  if (obs::TimelineJournal::global().enabled()) {
+    obs::TimelineJournal::global().set_thread_lane("unix-conn");
+  }
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t requests = 0;
@@ -341,6 +358,7 @@ void handle_connection(int fd, std::shared_ptr<const GraphEntry> entry,
     state.requests.fetch_add(1, std::memory_order_relaxed);
     metrics.requests.inc();
     obs::TraceScope trace(obs::Tracer::global(), "unix", request);
+    obs::TimelineSpan timeline_span(obs::TimelineEventKind::kRequest, request);
     std::string response;
     if (const auto control = control_response(state, request)) {
       response = *control;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "service/control_text.h"
@@ -201,7 +202,7 @@ class Loop {
     if (threads == 0) threads = par::ThreadPool::default_threads();
     workers_.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
-      workers_.emplace_back([this] { worker(); });
+      workers_.emplace_back([this, t] { worker(t); });
     }
 
     // Configured timeouts need ticks at roughly half their granularity;
@@ -586,6 +587,7 @@ class Loop {
         return std::string("error: reload failed: ") + error.what();
       }
     }
+    if (const auto profile = profile_response(request)) return *profile;
     if (const auto metrics = metrics_response(request)) return *metrics;
     // stats
     StatsFields fields;
@@ -725,7 +727,9 @@ class Loop {
 
   // --- worker pool ----------------------------------------------------------
 
-  void worker() {
+  void worker(std::size_t index) {
+    obs::TimelineJournal& journal = obs::TimelineJournal::global();
+    bool lane_named = false;
     while (true) {
       Job job;
       {
@@ -749,14 +753,27 @@ class Loop {
         // Trace the worker-side request lifetime; queue wait (dispatch to
         // pickup) is attributed explicitly since it predates the scope.
         obs::TraceScope trace(obs::Tracer::global(), "tcp", job.text);
-        if (trace.active()) {
-          const auto waited =
+        if (trace.active() || journal.enabled()) {
+          const auto waited = static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - job.enqueued)
-                  .count();
-          trace.add_pre_span(obs::Span::kQueueWait,
-                             static_cast<std::uint64_t>(waited));
+                  .count());
+          if (trace.active()) {
+            trace.add_pre_span(obs::Span::kQueueWait, waited);
+          }
+          if (journal.enabled()) {
+            if (!lane_named) {
+              journal.set_thread_lane("tcp-worker-" + std::to_string(index));
+              lane_named = true;
+            }
+            const std::uint64_t now = journal.now_micros();
+            journal.record(obs::TimelineEventKind::kQueueWait,
+                           now >= waited ? now - waited : 0, waited, job.id,
+                           job.text);
+          }
         }
+        obs::TimelineSpan span(obs::TimelineEventKind::kRequest, job.text,
+                               job.id);
         completion.response = execute_cached_line(
             *conn.engine, options_.cache, job.text, completion.hits,
             completion.misses);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace gsb::util {
@@ -35,7 +36,19 @@ LogLevel log_level() noexcept {
 }
 
 std::string format_log_line(LogLevel level, const std::string& message) {
-  std::string line = prefix(level);
+  // RFC 3339 UTC wall-clock stamp ("2026-08-08T12:34:56Z").  Second
+  // granularity keeps the prefix fixed-width and greppable; sub-second
+  // ordering belongs to the timeline journal, not the log.
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm utc{};
+  gmtime_r(&ts.tv_sec, &utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+
+  std::string line = stamp;
+  line += ' ';
+  line += prefix(level);
   line += ' ';
   line += message;
   line += '\n';

@@ -17,13 +17,14 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emits one line to stderr with a level prefix when enabled.  The line
-/// is formatted up front and written with a single fwrite under a mutex,
-/// so concurrent callers never interleave fragments.
+/// Emits one line to stderr with an RFC 3339 UTC timestamp and level
+/// prefix when enabled.  The line is formatted up front and written with
+/// a single fwrite under a mutex, so concurrent callers never interleave
+/// fragments.
 void log_message(LogLevel level, const std::string& message);
 
-/// The exact line log_message emits (prefix + space + message + newline);
-/// exposed for tests.
+/// The exact line log_message emits
+/// (`<rfc3339-utc> [level] <message>\n`); exposed for tests.
 std::string format_log_line(LogLevel level, const std::string& message);
 
 void log_debug(const std::string& message);

@@ -13,6 +13,8 @@
 
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/timeline_export.h"
 #include "obs/trace.h"
 
 namespace gsb::obs {
@@ -374,6 +376,230 @@ TEST(Tracer, RenderTracesJsonShape) {
 TEST(Uptime, MonotoneNonNegative) {
   anchor_process_start();
   EXPECT_GE(process_uptime_seconds(), 0u);
+}
+
+// ---- Histogram quantiles --------------------------------------------------
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  HistogramSnapshot h;
+  EXPECT_EQ(histogram_quantile_micros(h, 0.5), 0u);
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolates) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  const Histogram h = registry.histogram("q_micros", "help");
+  for (int i = 0; i < 100; ++i) h.observe_micros(3);  // bucket (2, 4]
+  const MetricSnapshot* metric = find_metric(registry.scrape(), "q_micros");
+  ASSERT_NE(metric, nullptr);
+  const std::uint64_t p50 = histogram_quantile_micros(metric->histogram, 0.5);
+  const std::uint64_t p99 = histogram_quantile_micros(metric->histogram, 0.99);
+  EXPECT_GT(p50, 2u);
+  EXPECT_LE(p50, 4u);
+  EXPECT_GT(p99, p50 - 1);  // higher rank never interpolates lower
+  EXPECT_LE(p99, 4u);
+}
+
+TEST(HistogramQuantile, SpreadAcrossBucketsIsMonotone) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  const Histogram h = registry.histogram("q2_micros", "help");
+  for (std::uint64_t v : {1u, 10u, 100u, 1000u, 10000u}) h.observe_micros(v);
+  const MetricSnapshot* metric = find_metric(registry.scrape(), "q2_micros");
+  ASSERT_NE(metric, nullptr);
+  std::uint64_t previous = 0;
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const std::uint64_t value = histogram_quantile_micros(metric->histogram, q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+  // p99 of five observations ranks into the last bucket (8192, 16384].
+  EXPECT_GT(histogram_quantile_micros(metric->histogram, 0.99), 8192u);
+  EXPECT_LE(histogram_quantile_micros(metric->histogram, 0.99), 16384u);
+}
+
+// ---- Build info -----------------------------------------------------------
+
+TEST(BuildInfo, GlobalScrapeCarriesVersionIsaSanitizer) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  const RegistrySnapshot snapshot = registry.scrape();
+  registry.set_enabled(was_enabled);
+  const MetricSnapshot* info = nullptr;
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (metric.name == "gsb_build_info") info = &metric;
+  }
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->value, 1u);
+  EXPECT_NE(info->labels.find("version=\""), std::string::npos);
+  EXPECT_NE(info->labels.find("isa=\""), std::string::npos);
+  EXPECT_NE(info->labels.find("sanitizer=\""), std::string::npos);
+}
+
+// ---- Timeline journal -----------------------------------------------------
+
+TEST(Timeline, DisabledJournalRecordsNothing) {
+  TimelineJournal journal;
+  journal.record(TimelineEventKind::kJob, 0, 10, 1, "ignored");
+  journal.record_instant(TimelineEventKind::kCacheHit, 2, "ignored");
+  const TimelineSnapshot snapshot = journal.snapshot();
+  EXPECT_TRUE(snapshot.events.empty());
+  EXPECT_EQ(snapshot.dropped, 0u);
+}
+
+TEST(Timeline, RecordsEventsSortedByStart) {
+  TimelineJournal journal;
+  journal.set_enabled(true);
+  journal.set_thread_lane("main");
+  journal.record(TimelineEventKind::kStage, 200, 50, 7, "later");
+  journal.record(TimelineEventKind::kJob, 100, 25, 3, "earlier");
+  const TimelineSnapshot snapshot = journal.snapshot();
+  ASSERT_EQ(snapshot.events.size(), 2u);
+  EXPECT_EQ(snapshot.events[0].start_micros, 100u);
+  EXPECT_STREQ(snapshot.events[0].label, "earlier");
+  EXPECT_EQ(snapshot.events[0].id, 3u);
+  EXPECT_EQ(snapshot.events[1].start_micros, 200u);
+  EXPECT_EQ(snapshot.events[1].kind, TimelineEventKind::kStage);
+  ASSERT_EQ(snapshot.lanes.size(), 1u);
+  EXPECT_EQ(snapshot.lanes[0].name, "main");
+}
+
+TEST(Timeline, LabelsTruncateAtFixedWidth) {
+  TimelineJournal journal;
+  journal.set_enabled(true);
+  const std::string longer(100, 'x');
+  journal.record(TimelineEventKind::kRequest, 0, 1, 0, longer);
+  const TimelineSnapshot snapshot = journal.snapshot();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(std::string(snapshot.events[0].label).size(),
+            TimelineEvent::kLabelChars);
+}
+
+TEST(Timeline, TinyRingDropsExactlyAndCounts) {
+  TimelineJournal journal;
+  journal.set_capacity(4);
+  journal.set_enabled(true);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    journal.record(TimelineEventKind::kJob, i, 1, i, "evt");
+  }
+  const TimelineSnapshot snapshot = journal.snapshot();
+  EXPECT_EQ(snapshot.events.size(), 4u);
+  EXPECT_EQ(snapshot.dropped, 6u);
+  EXPECT_EQ(journal.events_dropped(), 6u);
+  // The retained prefix is the oldest events (drop-on-full, not overwrite).
+  EXPECT_EQ(snapshot.events.front().start_micros, 0u);
+  EXPECT_EQ(snapshot.events.back().start_micros, 3u);
+}
+
+TEST(Timeline, ResetStartsAFreshWindow) {
+  TimelineJournal journal;
+  journal.set_capacity(4);
+  journal.set_enabled(true);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    journal.record(TimelineEventKind::kJob, i, 1, i, "old");
+  }
+  journal.reset();
+  EXPECT_EQ(journal.events_dropped(), 0u);
+  EXPECT_TRUE(journal.snapshot().events.empty());
+  journal.record(TimelineEventKind::kStage, 1, 2, 3, "new");
+  const TimelineSnapshot snapshot = journal.snapshot();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_STREQ(snapshot.events[0].label, "new");
+  EXPECT_EQ(snapshot.dropped, 0u);
+}
+
+TEST(Timeline, OneLanePerRecordingThread) {
+  TimelineJournal journal;
+  journal.set_enabled(true);
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal, t] {
+      journal.set_thread_lane("lane-" + std::to_string(t));
+      for (int i = 0; i < 16; ++i) {
+        journal.record(TimelineEventKind::kJob, static_cast<std::uint64_t>(i),
+                       1, t, "work");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const TimelineSnapshot snapshot = journal.snapshot();
+  EXPECT_EQ(snapshot.events.size(), kThreads * 16);
+  ASSERT_EQ(snapshot.lanes.size(), kThreads);
+  std::vector<std::uint32_t> tids;
+  for (const TimelineLane& lane : snapshot.lanes) tids.push_back(lane.tid);
+  std::sort(tids.begin(), tids.end());
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(tids[t], t);  // dense lane ids, one per thread
+  }
+}
+
+TEST(Timeline, SpanRecordsCompleteEvent) {
+  TimelineJournal journal;
+  journal.set_enabled(true);
+  { TimelineSpan span(journal, TimelineEventKind::kRequest, "degree 3", 42); }
+  const TimelineSnapshot snapshot = journal.snapshot();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].kind, TimelineEventKind::kRequest);
+  EXPECT_EQ(snapshot.events[0].id, 42u);
+  EXPECT_STREQ(snapshot.events[0].label, "degree 3");
+}
+
+TEST(Timeline, IoSpansAreDoublyGated) {
+  TimelineJournal journal;
+  journal.set_io_spans_enabled(true);
+  EXPECT_FALSE(journal.io_spans_enabled());  // journal itself still off
+  journal.set_enabled(true);
+  EXPECT_TRUE(journal.io_spans_enabled());
+  journal.set_io_spans_enabled(false);
+  EXPECT_FALSE(journal.io_spans_enabled());
+}
+
+// ---- Chrome trace export --------------------------------------------------
+
+TEST(TimelineExport, ChromeTraceShape) {
+  TimelineJournal journal;
+  journal.set_enabled(true);
+  journal.set_thread_lane("worker-0");
+  journal.record(TimelineEventKind::kJob, 10, 5, 1, "enumeration");
+  journal.record(TimelineEventKind::kCacheHit, 20, 0, 2, "say \"hi\"");
+  const std::string json = render_chrome_trace(journal.snapshot());
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // wire-safe single line
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(
+      json.find("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+                "\"args\":{\"name\":\"worker-0\"}}"),
+      std::string::npos);
+  EXPECT_NE(
+      json.find("{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":10,\"dur\":5,"
+                "\"cat\":\"job\",\"name\":\"enumeration\","
+                "\"args\":{\"id\":1}}"),
+      std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"cache_hit\""), std::string::npos);
+  EXPECT_NE(json.find("say \\\"hi\\\""), std::string::npos);  // escaped label
+  EXPECT_NE(json.find("\"otherData\":{\"dropped\":0}"), std::string::npos);
+}
+
+TEST(TimelineExport, DroppedCountSurfacesInTrace) {
+  TimelineJournal journal;
+  journal.set_capacity(1);
+  journal.set_enabled(true);
+  journal.record(TimelineEventKind::kJob, 0, 1, 0, "kept");
+  journal.record(TimelineEventKind::kJob, 1, 1, 1, "dropped");
+  const std::string json = render_chrome_trace(journal.snapshot());
+  EXPECT_NE(json.find("\"otherData\":{\"dropped\":1}"), std::string::npos);
+}
+
+TEST(TimelineExport, EmptyLabelFallsBackToKindName) {
+  TimelineJournal journal;
+  journal.set_enabled(true);
+  journal.record(TimelineEventKind::kQueueWait, 0, 3, 9, "");
+  const std::string json = render_chrome_trace(journal.snapshot());
+  EXPECT_NE(json.find("\"cat\":\"queue_wait\",\"name\":\"queue_wait\""),
+            std::string::npos);
 }
 
 }  // namespace

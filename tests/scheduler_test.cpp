@@ -7,14 +7,21 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "graph/generators.h"
+#include "graph/graph.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "parallel/job_graph.h"
 #include "parallel/thread_pool.h"
+#include "pipeline/overlap.h"
 #include "util/rng.h"
 
 namespace gsb {
@@ -375,6 +382,84 @@ TEST(JobGraph, PublishesSchedulerMetrics) {
   EXPECT_GE(jobs_total, 12u);
   EXPECT_TRUE(saw_wait_histogram);
   EXPECT_TRUE(saw_pending_gauge);
+}
+
+TEST(JobGraph, TimelineRecordsLabeledJobSpans) {
+  obs::TimelineJournal& journal = obs::TimelineJournal::global();
+  journal.reset();
+  journal.set_enabled(true);
+  {
+    par::ThreadPool pool(2);
+    par::JobGraph graph(&pool);
+    par::JobGraph::JobSpec first;
+    first.label = "stage-a";
+    first.run = [](std::size_t) {};
+    const par::JobId a = graph.add(std::move(first));
+    par::JobGraph::JobSpec second;
+    second.label = "stage-b";
+    second.deps = {a};
+    second.run = [](std::size_t) {};
+    graph.add(std::move(second));
+    graph.run();
+  }
+  journal.set_enabled(false);
+  const obs::TimelineSnapshot snapshot = journal.snapshot();
+  journal.reset();
+  bool saw_a = false;
+  bool saw_b = false;
+  std::size_t queue_waits = 0;
+  for (const obs::TimelineEvent& event : snapshot.events) {
+    if (event.kind == obs::TimelineEventKind::kJob) {
+      if (std::string(event.label) == "stage-a") saw_a = true;
+      if (std::string(event.label) == "stage-b") saw_b = true;
+    }
+    if (event.kind == obs::TimelineEventKind::kQueueWait) ++queue_waits;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+  EXPECT_EQ(queue_waits, 2u);  // one ready->claimed span per job
+  bool named_worker_lane = false;
+  for (const obs::TimelineLane& lane : snapshot.lanes) {
+    if (lane.name.rfind("worker-", 0) == 0) named_worker_lane = true;
+  }
+  EXPECT_TRUE(named_worker_lane);
+}
+
+TEST(JobGraph, TimelineOnOffKeepsGsbcEmissionByteIdentical) {
+  namespace fs = std::filesystem;
+  const std::string on_path =
+      (fs::temp_directory_path() / "gsb_sched_timeline_on.gsbc").string();
+  const std::string off_path =
+      (fs::temp_directory_path() / "gsb_sched_timeline_off.gsbc").string();
+  util::Rng rng(7);
+  const graph::Graph g = graph::gnp(80, 0.25, rng);
+  const auto run_pipeline = [&g](const std::string& path) {
+    pipeline::AnalysisOptions analysis;
+    analysis.range = core::SizeRange{3, 0};
+    analysis.threads = 1;  // deterministic emission order
+    analysis.overlap = true;
+    analysis.clique_out = path;
+    pipeline::run_analysis(g, analysis);
+  };
+  obs::TimelineJournal& journal = obs::TimelineJournal::global();
+  journal.reset();
+  journal.set_enabled(true);
+  run_pipeline(on_path);
+  journal.set_enabled(false);
+  const obs::TimelineSnapshot traced = journal.snapshot();
+  journal.reset();
+  run_pipeline(off_path);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+  const std::string with_timeline = slurp(on_path);
+  ASSERT_FALSE(with_timeline.empty());
+  EXPECT_EQ(with_timeline, slurp(off_path));
+  EXPECT_FALSE(traced.events.empty());  // recording actually happened
+  fs::remove(on_path);
+  fs::remove(off_path);
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include "graph/transforms.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "service/batch_executor.h"
 #include "service/client.h"
@@ -137,6 +138,19 @@ struct ScopedObservability {
     obs::Tracer::global().set_enabled(false);
     obs::Tracer::global().set_slow_log_micros(0);
     obs::Tracer::global().clear();
+  }
+};
+
+/// Turns the global timeline journal on for one test and restores the
+/// disabled default (plus a fresh capture window) on exit.
+struct ScopedTimeline {
+  ScopedTimeline() {
+    obs::TimelineJournal::global().reset();
+    obs::TimelineJournal::global().set_enabled(true);
+  }
+  ~ScopedTimeline() {
+    obs::TimelineJournal::global().set_enabled(false);
+    obs::TimelineJournal::global().reset();
   }
 };
 
@@ -591,6 +605,60 @@ TEST(Serve, MetricsRequestRendersPromOverStream) {
   EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
   ASSERT_TRUE(json_line.starts_with("ok metrics json {")) << json_line;
   EXPECT_NE(json_line.find("\"counters\""), std::string::npos);
+}
+
+TEST(Serve, ProfileCapturesBoundedWindowOverStream) {
+  const auto a = make_artifacts(24, 0.3, 61, "service_stream_profile");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  std::istringstream in(
+      "profile\nprofile start\ndegree 1\ndegree 2\nprofile stop\n"
+      "profile bogus\nshutdown\n");
+  std::ostringstream out;
+  serve_stream(entry, in, out, {});
+  std::istringstream lines(out.str());
+  std::string status, started, d1, d2, stopped, bogus;
+  std::getline(lines, status);
+  std::getline(lines, started);
+  std::getline(lines, d1);
+  std::getline(lines, d2);
+  std::getline(lines, stopped);
+  std::getline(lines, bogus);
+  EXPECT_EQ(status, "ok profile: enabled=0 events=0 dropped=0");
+  EXPECT_EQ(started, "ok profile started");
+  ASSERT_TRUE(stopped.starts_with("ok profile {")) << stopped;
+  EXPECT_NE(stopped.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(stopped.find("\"cat\":\"request\""), std::string::npos);
+  EXPECT_NE(stopped.find("\"name\":\"degree 1\""), std::string::npos);
+  EXPECT_EQ(stopped.find('\n'), std::string::npos);  // one-line payload
+  EXPECT_TRUE(bogus.starts_with("error: unknown profile verb")) << bogus;
+  EXPECT_FALSE(obs::TimelineJournal::global().enabled());  // stop disables
+  obs::TimelineJournal::global().reset();
+}
+
+TEST(Serve, StreamSessionBytesAreIdenticalWithTimelineOnAndOff) {
+  const auto a = make_artifacts(36, 0.3, 67, "service_stream_timeline");
+  GraphCatalog catalog;
+  auto entry = catalog.open("g", spec_for(a));
+  std::string script = "ping\n";
+  for (const auto& line : mixed_workload(a.graph)) script += line + '\n';
+  script += "shutdown\n";
+  auto run = [&] {
+    std::istringstream in(script);
+    std::ostringstream out;
+    ServeOptions options;
+    options.threads = 2;
+    serve_stream(entry, in, out, options);
+    return out.str();
+  };
+  const std::string reference = run();
+  std::string profiled;
+  {
+    ScopedTimeline timeline_on;
+    profiled = run();
+    EXPECT_FALSE(obs::TimelineJournal::global().snapshot().events.empty());
+  }
+  EXPECT_EQ(profiled, reference);
 }
 
 #if GSB_TEST_UNIX_SOCKETS
@@ -1274,6 +1342,51 @@ TEST(TcpServe, MetricsRequestIsRejectedWhenDisabled) {
             "error: metrics disabled (serve with --metrics)");
   EXPECT_EQ(client.request("shutdown"), "ok shutdown");
   fx.join();
+}
+
+TEST(TcpServe, ProfileWindowLeavesResponsesByteIdenticalOnBothProtocols) {
+  const auto a = make_artifacts(44, 0.3, 79, "service_tcp_profile");
+  const auto lines = mixed_workload(a.graph);
+
+  // Reference computed with profiling off.
+  GraphCatalog reference_catalog;
+  auto reference_entry = reference_catalog.open("g", spec_for(a));
+  BatchOptions sequential;
+  sequential.threads = 1;
+  const auto reference = execute_batch(reference_entry, lines, sequential);
+
+  TcpServerOptions options;
+  options.threads = 3;
+  TcpFixture fx(a, options);
+
+  auto client = ServiceClient::connect_tcp(fx.address());
+  EXPECT_EQ(client.request("profile start"), "ok profile started");
+  EXPECT_EQ(client.request_pipelined(lines), reference.responses)
+      << "profiling changed response bytes";
+  const std::string status = client.request("profile");
+  EXPECT_TRUE(status.starts_with("ok profile: enabled=1 events=")) << status;
+  const std::string trace = client.request("profile stop");
+  ASSERT_TRUE(trace.starts_with("ok profile {")) << trace.substr(0, 80);
+  EXPECT_NE(trace.find("\"cat\":\"request\""), std::string::npos);
+  EXPECT_NE(trace.find("tcp-worker-"), std::string::npos);
+
+  // The binary framing carries the identical control payloads (its own
+  // connection: the first byte commits a connection's framing), and the
+  // capture window repeats cleanly.
+  auto binary_client = ServiceClient::connect_tcp(fx.address());
+  const auto frames = binary_client.call_pipelined(
+      {"profile start", lines.front(), "profile stop"});
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].status, wire::Status::kOk);
+  EXPECT_EQ(frames[0].payload, "ok profile started");
+  EXPECT_EQ(frames[1].payload, reference.responses.front());
+  EXPECT_TRUE(frames[2].payload.starts_with("ok profile {"))
+      << frames[2].payload.substr(0, 80);
+
+  EXPECT_EQ(client.request("shutdown"), "ok shutdown");
+  fx.join();
+  EXPECT_EQ(fx.stats.protocol_errors, 0u);
+  obs::TimelineJournal::global().reset();
 }
 
 #endif  // defined(__linux__)

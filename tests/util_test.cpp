@@ -5,9 +5,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <regex>
 #include <set>
+#include <string>
 
 #include "util/cli.h"
+#include "util/log.h"
 #include "util/memory_tracker.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -287,6 +290,27 @@ TEST(Timer, ScopedAccumAddsUp) {
     ScopedAccumTimer guard(total);
   }
   EXPECT_GE(total, 0.0);
+}
+
+TEST(Log, LinePrefixesRfc3339TimestampAndSeverity) {
+  const std::string line = format_log_line(LogLevel::kWarn, "disk is tired");
+  // `<rfc3339-utc> [level] <message>\n` — fixed-width, greppable prefix.
+  const std::regex shape(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z \[warn \] disk is tired\n$)");
+  EXPECT_TRUE(std::regex_match(line, shape)) << line;
+  EXPECT_NE(format_log_line(LogLevel::kError, "x").find(" [error] x\n"),
+            std::string::npos);
+  EXPECT_NE(format_log_line(LogLevel::kInfo, "x").find(" [info ] x\n"),
+            std::string::npos);
+  EXPECT_NE(format_log_line(LogLevel::kDebug, "x").find(" [debug] x\n"),
+            std::string::npos);
+}
+
+TEST(Log, ConsecutiveLinesStayOrderedInTime) {
+  const std::string first = format_log_line(LogLevel::kInfo, "a");
+  const std::string second = format_log_line(LogLevel::kInfo, "b");
+  // Lexicographic order of RFC 3339 stamps is chronological order.
+  EXPECT_LE(first.substr(0, 20), second.substr(0, 20));
 }
 
 }  // namespace
